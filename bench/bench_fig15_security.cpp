@@ -1,0 +1,78 @@
+// Fig. 15 — security analysis: eavesdropping and imitating attacks.
+//
+// (a) Eavesdropping: Eve records y_Bob from the public channel and feeds it
+//     to the public decoder with her own channel-derived key material (the
+//     paper's attack: one decoder pass). Paper shape: ~42-51% agreement.
+// (b) Imitating: Eve follows Alice's route, runs the identical pipeline on
+//     her own observations of Bob's transmissions. Paper shape: legitimate
+//     ~99% vs Eve ~48-54%.
+// Additionally reported: Eve misusing the *iterative* decoder — a strictly
+// stronger attack than the paper evaluates — which gains some bits but
+// remains far from key recovery and is caught by MAC/key confirmation.
+#include <vector>
+
+#include "channel/trace.h"
+#include "common/table.h"
+#include "core/pipeline.h"
+
+using namespace vkey;
+using namespace vkey::channel;
+using namespace vkey::core;
+
+namespace {
+
+struct SecurityRow {
+  double legit_kar = 0.0;
+  double eve_one_shot = 0.0;
+  double eve_iterative = 0.0;
+};
+
+SecurityRow evaluate(ScenarioKind kind, std::uint64_t seed) {
+  PipelineConfig cfg;
+  cfg.trace.scenario = make_scenario(kind, 50.0);
+  cfg.trace.seed = seed;
+  cfg.predictor.hidden = 24;
+  cfg.predictor_epochs = 20;
+  cfg.reconciler.decoder_units = 64;
+  cfg.reconciler_epochs = 25;
+  cfg.reconciler_samples = 3000;
+  KeyGenPipeline pipeline(cfg);
+  const auto m = pipeline.run(500, 450);
+  return {m.mean_kar_post, m.mean_eve_kar, m.mean_eve_kar_iterative};
+}
+
+}  // namespace
+
+int main() {
+  Table t({"environment", "legitimate KAR", "Eve (eavesdrop, one-shot)",
+           "Eve (iterative decoder)"});
+  // The paper aggregates to urban vs rural; report per scenario and the
+  // aggregate rows.
+  double urban_legit = 0, urban_eve = 0, rural_legit = 0, rural_eve = 0;
+  for (const auto kind : kAllScenarios) {
+    const SecurityRow r =
+        evaluate(kind, 80 + static_cast<std::uint64_t>(kind));
+    t.add_row({to_string(kind), Table::pct(r.legit_kar),
+               Table::pct(r.eve_one_shot), Table::pct(r.eve_iterative)});
+    const ScenarioConfig sc = make_scenario(kind, 50.0);
+    if (sc.is_urban()) {
+      urban_legit += r.legit_kar / 2.0;
+      urban_eve += r.eve_one_shot / 2.0;
+    } else {
+      rural_legit += r.legit_kar / 2.0;
+      rural_eve += r.eve_one_shot / 2.0;
+    }
+  }
+  t.add_row({"Urban (mean)", Table::pct(urban_legit), Table::pct(urban_eve),
+             "-"});
+  t.add_row({"Rural (mean)", Table::pct(rural_legit), Table::pct(rural_eve),
+             "-"});
+  t.print("Fig. 15: security analysis — legitimate vs eavesdropper "
+          "agreement");
+  std::printf(
+      "\nAt ~50%% per-bit agreement the probability of reproducing a "
+      "128-bit amplified key is ~2^-128; any residual advantage is "
+      "destroyed by privacy amplification, and a wrong key fails the MAC / "
+      "key-confirmation handshake.\n");
+  return 0;
+}

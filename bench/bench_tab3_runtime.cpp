@@ -1,0 +1,123 @@
+// Table III — computation cost of the online pipeline stages.
+//
+// google-benchmark timings of each per-key online operation for both roles:
+//   Alice: BiLSTM prediction + quantization inference, reconciliation
+//          decode (encoder + greedy decoder), privacy amplification.
+//   Bob:   multi-bit quantization, syndrome encoding, privacy amplification.
+// Paper shape (Raspberry Pi 4): prediction dominates (ms-scale) and
+// reconciliation is tens of microseconds; Bob's total is an order of
+// magnitude below Alice's. Absolute numbers here reflect this host, not a
+// Pi; the stage *ratios* are the reproduced quantity. Training is offline
+// and excluded, as in the paper.
+#include <benchmark/benchmark.h>
+
+#include "core/dataset.h"
+#include "core/pipeline.h"
+#include "core/predictor.h"
+#include "core/privacy.h"
+#include "core/quantizer.h"
+#include "core/reconciler.h"
+
+using namespace vkey;
+using namespace vkey::core;
+
+namespace {
+
+// Shared trained state, built once.
+struct Fixture {
+  PredictorQuantizer predictor;
+  AutoencoderReconciler reconciler;
+  nn::Vec alice_seq;
+  std::vector<double> bob_seq_raw;
+  BitVec key_alice;
+  BitVec key_bob;
+  std::vector<double> y_bob;
+
+  Fixture()
+      : predictor([] {
+          PredictorConfig cfg;
+          cfg.hidden = 32;  // the evaluation configuration
+          return cfg;
+        }()),
+        reconciler([] {
+          ReconcilerConfig cfg;
+          cfg.decoder_units = 64;
+          return cfg;
+        }()) {
+    reconciler.train(800, 8);  // weights just need to be realistic
+    vkey::Rng rng(5);
+    alice_seq.resize(64);
+    bob_seq_raw.resize(64);
+    for (std::size_t i = 0; i < 64; ++i) {
+      alice_seq[i] = rng.uniform();
+      bob_seq_raw[i] = -80.0 + 5.0 * rng.gaussian();
+    }
+    key_bob = BitVec(64);
+    for (std::size_t i = 0; i < 64; ++i) key_bob.set(i, rng.bernoulli(0.5));
+    key_alice = key_bob;
+    key_alice.flip(7);
+    key_alice.flip(40);
+    y_bob = reconciler.encode_bob(key_bob);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_Alice_PredictionAndQuantization(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.predictor.infer(f.alice_seq));
+  }
+}
+BENCHMARK(BM_Alice_PredictionAndQuantization);
+
+void BM_Alice_Reconciliation(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.reconciler.reconcile(f.key_alice, f.y_bob));
+  }
+}
+BENCHMARK(BM_Alice_Reconciliation);
+
+void BM_Alice_PrivacyAmplification(benchmark::State& state) {
+  auto& f = fixture();
+  const PrivacyAmplifier amp(128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(amp.amplify(f.key_alice, 1));
+  }
+}
+BENCHMARK(BM_Alice_PrivacyAmplification);
+
+void BM_Bob_Quantization(benchmark::State& state) {
+  auto& f = fixture();
+  const MultiBitQuantizer quant(
+      {.bits_per_sample = 1, .block_size = 16, .guard_band_ratio = 0.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quant.quantize(f.bob_seq_raw));
+  }
+}
+BENCHMARK(BM_Bob_Quantization);
+
+void BM_Bob_SyndromeEncoding(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.reconciler.encode_bob(f.key_bob));
+  }
+}
+BENCHMARK(BM_Bob_SyndromeEncoding);
+
+void BM_Bob_PrivacyAmplification(benchmark::State& state) {
+  auto& f = fixture();
+  const PrivacyAmplifier amp(128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(amp.amplify(f.key_bob, 1));
+  }
+}
+BENCHMARK(BM_Bob_PrivacyAmplification);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Eavesdropper demo: everything Eve can do, and why none of it works.
+//
+// Eve follows Alice's car a few metres behind, records every radio frame
+// and every protocol message, and knows the protocol, the trained models
+// and the session parameters. This demo walks through her three options:
+//   1. quantize her own observations (imitating attack),
+//   2. feed the overheard syndrome + her material to the public decoder
+//      (eavesdropping attack, paper Fig. 15a),
+//   3. actively tamper with the syndrome in flight (MITM).
+//
+// Build & run:  ./build/examples/eavesdropper_demo
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "protocol/attacks.h"
+#include "protocol/session.h"
+
+using namespace vkey;
+using namespace vkey::channel;
+using namespace vkey::core;
+
+int main() {
+  PipelineConfig cfg;
+  cfg.trace.scenario = make_scenario(ScenarioKind::kV2VUrban, 50.0);
+  cfg.trace.seed = 5150;
+  cfg.use_prediction = false;
+  cfg.reconciler.decoder_units = 64;
+  cfg.reconciler_epochs = 15;
+  cfg.reconciler_samples = 1500;
+  KeyGenPipeline pipeline(cfg);
+  const auto metrics = pipeline.run(150, 400);
+
+  std::printf("Legitimate link:    %.2f%% bit agreement after "
+              "reconciliation\n",
+              100.0 * metrics.mean_kar_post);
+  std::printf("1. Imitating attack: Eve drives the same route and runs the "
+              "same pipeline:\n");
+  std::printf("   -> %.2f%% agreement with Bob's key "
+              "(coin-flipping scores 50%%)\n",
+              100.0 * metrics.mean_eve_kar);
+  std::printf("   Her receiver is > lambda/2 (%.2f m) from both cars: the "
+              "multipath fading she records is statistically independent.\n",
+              0.6912 / 2.0);
+
+  std::printf("2. Eavesdropping attack: she decodes the overheard syndrome "
+              "with her own material:\n");
+  std::printf("   -> one-shot decode %.2f%%, iterative misuse %.2f%% — "
+              "the decoder only expresses *differences* from Bob's key, "
+              "useless without correlated material.\n",
+              100.0 * metrics.mean_eve_kar,
+              100.0 * metrics.mean_eve_kar_iterative);
+
+  // 3. Active MITM on a live session.
+  const KeyBlockResult* block = nullptr;
+  for (const auto& blk : pipeline.blocks()) {
+    if (blk.success) {
+      block = &blk;
+      break;
+    }
+  }
+  if (block == nullptr) {
+    std::printf("(no usable block in this short trace; rerun)\n");
+    return 1;
+  }
+  protocol::SessionConfig scfg;
+  protocol::AliceSession alice(scfg, pipeline.reconciler(),
+                               block->alice_corrected);
+  protocol::BobSession bob(scfg, pipeline.reconciler(), block->bob_key);
+  protocol::PublicChannel channel;
+  protocol::install_syndrome_tamper(channel);
+  const bool established = run_key_agreement(channel, alice, bob);
+  std::printf("3. MITM tampering with the syndrome in flight:\n");
+  std::printf("   -> session %s (Alice's verdict: %s)\n",
+              established ? "ESTABLISHED (!!)" : "aborted",
+              to_string(alice.last_reject()).c_str());
+
+  // And a replayed syndrome from the recorded transcript.
+  protocol::PublicChannel clean;
+  protocol::AliceSession alice2(scfg, pipeline.reconciler(),
+                                block->alice_corrected);
+  protocol::BobSession bob2(scfg, pipeline.reconciler(), block->bob_key);
+  if (run_key_agreement(clean, alice2, bob2)) {
+    const auto syn = protocol::find_syndrome(clean);
+    if (syn && !alice2.handle(protocol::make_replay(*syn)).has_value()) {
+      std::printf("4. Replaying the recorded syndrome later: rejected "
+                  "(%s).\n",
+                  to_string(alice2.last_reject()).c_str());
+    }
+  }
+  std::printf("\nEve leaves empty-handed.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// vkey_sim — command-line driver for the Vehicle-Key pipeline.
+//
+// Runs the full key-generation pipeline on a configurable scenario and
+// prints the evaluation metrics; useful for parameter exploration without
+// writing code.
+//
+//   ./build/examples/vkey_sim --scenario v2v-urban --speed 60 \
+//       --train-rounds 600 --test-rounds 400 --seed 7 [--no-prediction]
+//
+// Flags (all optional):
+//   --scenario {v2i-urban|v2i-rural|v2v-urban|v2v-rural}   default v2v-urban
+//   --speed KMH            vehicle speed                    default 50
+//   --train-rounds N       probe rounds used for training   default 600
+//   --test-rounds N        probe rounds used for evaluation default 400
+//   --hidden N             BiLSTM hidden units              default 32
+//   --epochs N             predictor training epochs        default 40
+//   --decoder-units N      reconciler decoder width         default 64
+//   --seed N               simulation seed                  default 1
+//   --no-prediction        ablate the BiLSTM (direct quantization)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/table.h"
+#include "core/pipeline.h"
+
+using namespace vkey;
+using namespace vkey::channel;
+using namespace vkey::core;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--scenario v2i-urban|v2i-rural|v2v-urban|"
+               "v2v-rural] [--speed KMH] [--train-rounds N] "
+               "[--test-rounds N] [--hidden N] [--epochs N] "
+               "[--decoder-units N] [--seed N] [--no-prediction]\n",
+               argv0);
+  std::exit(2);
+}
+
+ScenarioKind parse_scenario(const std::string& s, const char* argv0) {
+  if (s == "v2i-urban") return ScenarioKind::kV2IUrban;
+  if (s == "v2i-rural") return ScenarioKind::kV2IRural;
+  if (s == "v2v-urban") return ScenarioKind::kV2VUrban;
+  if (s == "v2v-rural") return ScenarioKind::kV2VRural;
+  std::fprintf(stderr, "unknown scenario '%s'\n", s.c_str());
+  usage(argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ScenarioKind kind = ScenarioKind::kV2VUrban;
+  double speed = 50.0;
+  std::size_t train_rounds = 600, test_rounds = 400;
+  PipelineConfig cfg;
+  cfg.predictor.hidden = 32;
+  cfg.predictor_epochs = 40;
+  cfg.reconciler.decoder_units = 64;
+  cfg.trace.seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--scenario") kind = parse_scenario(next(), argv[0]);
+    else if (arg == "--speed") speed = std::atof(next());
+    else if (arg == "--train-rounds") train_rounds = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--test-rounds") test_rounds = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--hidden") cfg.predictor.hidden = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--epochs") cfg.predictor_epochs = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--decoder-units") cfg.reconciler.decoder_units = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--seed") cfg.trace.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (arg == "--no-prediction") cfg.use_prediction = false;
+    else usage(argv[0]);
+  }
+  if (speed <= 0.0 || train_rounds == 0 || test_rounds == 0) usage(argv[0]);
+
+  cfg.trace.scenario = make_scenario(kind, speed);
+
+  std::printf("vkey_sim: %s at %.0f km/h, seed %llu, %zu train / %zu test "
+              "rounds, prediction %s\n",
+              to_string(kind).c_str(), speed,
+              static_cast<unsigned long long>(cfg.trace.seed), train_rounds,
+              test_rounds, cfg.use_prediction ? "on" : "off");
+
+  KeyGenPipeline pipeline(cfg);
+  const auto m = pipeline.run(train_rounds, test_rounds);
+
+  Table t({"metric", "value"});
+  t.add_row({"key blocks evaluated", std::to_string(m.blocks)});
+  t.add_row({"KAR pre-reconciliation", Table::pct(m.mean_kar_pre)});
+  t.add_row({"KAR post-reconciliation",
+             Table::pct(m.mean_kar_post) + " ± " +
+                 Table::pct(m.std_kar_post, 2)});
+  t.add_row({"exact-key block rate", Table::pct(m.key_success_rate)});
+  t.add_row({"KGR (net secret bit/s)", Table::fmt(m.kgr_bits_per_s, 3)});
+  t.add_row({"Eve KAR (one-shot decode)", Table::pct(m.mean_eve_kar)});
+  t.add_row({"Eve KAR (iterative misuse)",
+             Table::pct(m.mean_eve_kar_iterative)});
+  t.add_row({"evaluation span", Table::fmt(m.test_duration_s, 0) + " s"});
+  t.print("results");
+  return 0;
+}

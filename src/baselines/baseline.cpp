@@ -1,0 +1,16 @@
+#include "baselines/baseline.h"
+
+namespace vkey::baselines {
+
+PrssiSeries extract_prssi(const std::vector<channel::ProbeRound>& rounds) {
+  PrssiSeries s;
+  s.alice.reserve(rounds.size());
+  s.bob.reserve(rounds.size());
+  for (const auto& r : rounds) {
+    s.alice.push_back(r.alice_rx.prssi());
+    s.bob.push_back(r.bob_rx.prssi());
+  }
+  return s;
+}
+
+}  // namespace vkey::baselines

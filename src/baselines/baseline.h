@@ -1,0 +1,35 @@
+// Shared interface for the state-of-the-art baselines compared in
+// Fig. 12 / Fig. 13 (LoRa-Key, Han et al., Gao et al.).
+//
+// All baselines operate on packet RSSI (pRSSI) — one measurement per packet
+// and per direction — which is precisely why their key generation rates trail
+// Vehicle-Key's arRSSI stream by roughly an order of magnitude.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "channel/trace.h"
+
+namespace vkey::baselines {
+
+struct BaselineMetrics {
+  std::string name;
+  double mean_kar = 0.0;          ///< post-reconciliation bit agreement
+  double std_kar = 0.0;
+  double key_success_rate = 0.0;  ///< exact 64-bit block agreement
+  double kgr_bits_per_s = 0.0;    ///< net secret bits per second (leaked
+                                  ///< reconciliation bits subtracted)
+  std::size_t blocks = 0;
+};
+
+/// Paired pRSSI series measured by the two parties over a trace.
+struct PrssiSeries {
+  std::vector<double> alice;
+  std::vector<double> bob;
+};
+
+/// Extract per-round pRSSI pairs from a trace.
+PrssiSeries extract_prssi(const std::vector<channel::ProbeRound>& rounds);
+
+}  // namespace vkey::baselines

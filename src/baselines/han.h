@@ -1,0 +1,38 @@
+// Han et al. baseline (Sensors 2020): "LoRa-based physical layer key
+// generation for secure V2V/V2I communications".
+//
+// As configured in the paper's comparison: multi-bit quantization of packet
+// RSSI followed by Cascade reconciliation with group length k = 3 and 4
+// iterations. Cascade's parity disclosures are subtracted from the net key
+// rate, and its multi-round interactivity is the overhead the paper
+// criticizes.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/baseline.h"
+#include "baselines/cascade.h"
+#include "core/quantizer.h"
+
+namespace vkey::baselines {
+
+struct HanConfig {
+  vkey::core::QuantizerConfig quantizer{
+      .bits_per_sample = 2, .block_size = 16, .guard_band_ratio = 0.0};
+  CascadeConfig cascade{.initial_block = 3, .iterations = 4, .seed = 41};
+  /// Cascade amortizes its parity leakage over long blocks.
+  std::size_t key_block_bits = 256;
+};
+
+class HanV2V {
+ public:
+  explicit HanV2V(const HanConfig& config = {});
+
+  BaselineMetrics run(const std::vector<channel::ProbeRound>& rounds,
+                      double round_duration_s) const;
+
+ private:
+  HanConfig cfg_;
+};
+
+}  // namespace vkey::baselines

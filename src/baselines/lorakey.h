@@ -1,0 +1,43 @@
+// LoRa-Key baseline (Xu et al., IEEE IoT-J 2018).
+//
+// Protocol as evaluated in the paper's Fig. 12/13 comparison:
+//  * channel feature: packet RSSI (one value per probe exchange);
+//  * quantization: multi-bit quantile quantizer with guard-band ratio
+//    alpha = 0.8 (the paper's tuned value); the two parties exchange kept
+//    sample indices and intersect them;
+//  * reconciliation: compressed sensing with a 20 x 64 random matrix and an
+//    OMP decoder;
+//  * privacy amplification: hashing (not modeled in the rate, identical for
+//    all schemes).
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/baseline.h"
+#include "core/quantizer.h"
+
+namespace vkey::baselines {
+
+struct LoRaKeyConfig {
+  vkey::core::QuantizerConfig quantizer{
+      .bits_per_sample = 2, .block_size = 16, .guard_band_ratio = 0.8};
+  std::size_t key_block_bits = 64;   ///< CS block size N
+  std::size_t cs_rows = 20;          ///< paper: 20 x 64 sensing matrix
+  std::size_t max_mismatches = 10;   ///< OMP sparsity budget
+  std::uint64_t seed = 17;
+};
+
+class LoRaKey {
+ public:
+  explicit LoRaKey(const LoRaKeyConfig& config = {});
+
+  /// Run the complete protocol over a trace; `round_duration_s` is the
+  /// wall-clock cost of one probe exchange (from the trace generator).
+  BaselineMetrics run(const std::vector<channel::ProbeRound>& rounds,
+                      double round_duration_s) const;
+
+ private:
+  LoRaKeyConfig cfg_;
+};
+
+}  // namespace vkey::baselines

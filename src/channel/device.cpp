@@ -1,0 +1,38 @@
+#include "channel/device.h"
+
+namespace vkey::channel {
+
+DeviceModel dragino_lora_shield() {
+  DeviceModel d;
+  d.name = "Dragino LoRa Shield";
+  d.gain_offset_sigma_db = 1.0;
+  d.rssi_noise_sigma_db = 0.4;
+  d.rssi_quant_step_db = 1.0;
+  d.turnaround_delay_s = 0.006;  // AVR ATmega328P: slowest MCU of the three
+  d.tx_power_dbm = 14.0;
+  return d;
+}
+
+DeviceModel multitech_xdot() {
+  DeviceModel d;
+  d.name = "MultiTech xDot";
+  d.gain_offset_sigma_db = 1.2;
+  d.rssi_noise_sigma_db = 0.45;
+  d.rssi_quant_step_db = 1.0;
+  d.turnaround_delay_s = 0.004;
+  d.tx_power_dbm = 14.0;
+  return d;
+}
+
+DeviceModel multitech_mdot() {
+  DeviceModel d;
+  d.name = "MultiTech mDot";
+  d.gain_offset_sigma_db = 1.2;
+  d.rssi_noise_sigma_db = 0.45;
+  d.rssi_quant_step_db = 1.0;
+  d.turnaround_delay_s = 0.004;
+  d.tx_power_dbm = 14.0;
+  return d;
+}
+
+}  // namespace vkey::channel

@@ -1,0 +1,129 @@
+#include "channel/fading.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vkey::channel {
+
+double path_loss_db(double distance_m, double exponent, double ref_loss_db) {
+  VKEY_REQUIRE(exponent > 0.0, "path-loss exponent must be positive");
+  const double d = std::max(distance_m, 1.0);
+  return ref_loss_db + 10.0 * exponent * std::log10(d);
+}
+
+SumOfSinusoidsRing::SumOfSinusoidsRing(int rays, vkey::Rng& rng) {
+  VKEY_REQUIRE(rays >= 4, "need at least 4 rays");
+  cos_alpha_.resize(static_cast<std::size_t>(rays));
+  phase_.resize(static_cast<std::size_t>(rays));
+  for (int r = 0; r < rays; ++r) {
+    // Random arrival angles (isotropic scattering) and initial phases.
+    const double alpha = rng.uniform(0.0, 2.0 * M_PI);
+    cos_alpha_[static_cast<std::size_t>(r)] = std::cos(alpha);
+    phase_[static_cast<std::size_t>(r)] = rng.uniform(0.0, 2.0 * M_PI);
+  }
+}
+
+std::complex<double> SumOfSinusoidsRing::advance(double dt,
+                                                 double doppler_hz) {
+  VKEY_REQUIRE(dt >= 0.0, "dt must be non-negative");
+  if (dt > 0.0 && doppler_hz != 0.0) {
+    const double w = 2.0 * M_PI * doppler_hz * dt;
+    for (std::size_t r = 0; r < phase_.size(); ++r) {
+      phase_[r] += w * cos_alpha_[r];
+    }
+  }
+  return current();
+}
+
+std::complex<double> SumOfSinusoidsRing::current() const {
+  std::complex<double> g(0.0, 0.0);
+  for (double p : phase_) g += std::complex<double>(std::cos(p), std::sin(p));
+  return g / std::sqrt(static_cast<double>(phase_.size()));
+}
+
+SmallScaleFading::SmallScaleFading(const SmallScaleConfig& config,
+                                   vkey::Rng rng)
+    : cfg_(config),
+      fast_a_(config.rays, rng),
+      fast_b_(config.rays, rng),
+      slow_a_(config.rays, rng),
+      slow_b_(config.rays, rng),
+      k_linear_(config.rician_k_db <= -40.0
+                    ? 0.0
+                    : std::pow(10.0, config.rician_k_db / 10.0)),
+      rng_(rng) {
+  VKEY_REQUIRE(config.fast_weight >= 0.0 && config.fast_weight <= 1.0,
+               "fast_weight must be in [0,1]");
+  VKEY_REQUIRE(config.slow_scale > 0.0 && config.slow_scale <= 1.0,
+               "slow_scale must be in (0,1]");
+  los_phase_ = rng_.uniform(0.0, 2.0 * M_PI);
+}
+
+std::complex<double> SmallScaleFading::diffuse(double dt, double fd_a_hz,
+                                               double fd_b_hz) {
+  auto product = [&](SumOfSinusoidsRing& ra, SumOfSinusoidsRing& rb,
+                     double fa, double fb) {
+    const std::complex<double> ga = ra.advance(dt, fa);
+    // A static endpoint degenerates the product model to a single ring.
+    std::complex<double> gb(1.0, 0.0);
+    if (fb > 0.0) gb = rb.advance(dt, fb);
+    return ga * gb;
+  };
+  const std::complex<double> fast =
+      product(fast_a_, fast_b_, fd_a_hz, fd_b_hz);
+  const std::complex<double> slow =
+      product(slow_a_, slow_b_, fd_a_hz * cfg_.slow_scale,
+              fd_b_hz * cfg_.slow_scale);
+  return std::sqrt(cfg_.fast_weight) * fast +
+         std::sqrt(1.0 - cfg_.fast_weight) * slow;
+}
+
+double SmallScaleFading::advance_db(double dt, double fd_a_hz, double fd_b_hz,
+                                    double fd_los_hz) {
+  std::complex<double> g = diffuse(dt, fd_a_hz, fd_b_hz);
+  if (k_linear_ > 0.0) {
+    los_phase_ += 2.0 * M_PI * fd_los_hz * dt;
+    const std::complex<double> los(std::cos(los_phase_),
+                                   std::sin(los_phase_));
+    g = std::sqrt(k_linear_ / (k_linear_ + 1.0)) * los +
+        std::sqrt(1.0 / (k_linear_ + 1.0)) * g;
+  }
+  // Envelope power in dB, floored to avoid -inf in deep fades.
+  const double p = std::max(std::norm(g), 1e-9);
+  return 10.0 * std::log10(p);
+}
+
+ShadowingProcess::ShadowingProcess(double sigma_db, double decorr_m,
+                                   vkey::Rng rng)
+    : sigma_db_(sigma_db), decorr_m_(decorr_m), rng_(rng) {
+  VKEY_REQUIRE(sigma_db >= 0.0, "shadow sigma must be non-negative");
+  VKEY_REQUIRE(decorr_m > 0.0, "decorrelation distance must be positive");
+  value_db_ = sigma_db_ * rng_.gaussian();
+}
+
+double ShadowingProcess::advance(double delta_pos_m) {
+  VKEY_REQUIRE(delta_pos_m >= 0.0, "position must advance");
+  if (delta_pos_m > 0.0 && sigma_db_ > 0.0) {
+    const double rho = std::exp(-delta_pos_m / decorr_m_);
+    value_db_ = rho * value_db_ +
+                std::sqrt(std::max(0.0, 1.0 - rho * rho)) * sigma_db_ *
+                    rng_.gaussian();
+  }
+  return value_db_;
+}
+
+CorrelatedShadowing::CorrelatedShadowing(double rho, double sigma_db,
+                                         double decorr_m, vkey::Rng rng)
+    : rho_(rho), own_(sigma_db, decorr_m, rng) {
+  VKEY_REQUIRE(rho >= 0.0 && rho <= 1.0, "rho must be in [0,1]");
+}
+
+double CorrelatedShadowing::advance(double delta_pos_m,
+                                    double reference_value_db) {
+  const double own = own_.advance(delta_pos_m);
+  return rho_ * reference_value_db +
+         std::sqrt(std::max(0.0, 1.0 - rho_ * rho_)) * own;
+}
+
+}  // namespace vkey::channel

@@ -1,0 +1,57 @@
+#include "channel/scenario.h"
+
+#include "common/error.h"
+
+namespace vkey::channel {
+
+std::string to_string(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kV2IUrban:
+      return "V2I-Urban";
+    case ScenarioKind::kV2IRural:
+      return "V2I-Rural";
+    case ScenarioKind::kV2VUrban:
+      return "V2V-Urban";
+    case ScenarioKind::kV2VRural:
+      return "V2V-Rural";
+  }
+  throw Error("unknown ScenarioKind");
+}
+
+ScenarioConfig make_scenario(ScenarioKind kind, double speed_kmh) {
+  VKEY_REQUIRE(speed_kmh > 0.0, "vehicle speed must be positive");
+  ScenarioConfig cfg;
+  cfg.kind = kind;
+  cfg.speed_a_kmh = speed_kmh;
+  cfg.speed_b_kmh = cfg.is_v2v() ? speed_kmh : 0.0;
+
+  if (cfg.is_urban()) {
+    // Urban NLOS: strong multipath, fast spatial shadowing decorrelation.
+    cfg.path_loss_exponent = 3.2;
+    cfg.shadow_sigma_db = 1.5;
+    cfg.shadow_decorr_m = 20.0;
+    cfg.rician_k_db = 0.0;  // weak LOS: removes Rayleigh deep nulls
+    cfg.slow_doppler_scale = 0.005;
+    cfg.initial_distance_m = 600.0;
+    cfg.max_distance_m = 2500.0;
+  } else {
+    // Rural: milder path loss, slower shadowing, weak LOS (vehicles and
+    // terrain still scatter; a strong K would freeze the envelope).
+    cfg.path_loss_exponent = 2.3;
+    cfg.shadow_sigma_db = 1.2;
+    cfg.shadow_decorr_m = 60.0;
+    cfg.rician_k_db = 3.0;
+    // Open terrain: distant scatterers, slower aspect-angle drift.
+    cfg.slow_doppler_scale = 0.003;
+    cfg.initial_distance_m = 1200.0;
+    cfg.max_distance_m = 6000.0;
+  }
+  // Relative-distance drift: slow and mean-reverting, so the key-scale
+  // variance is dominated by fading rather than by the path-loss trend.
+  // V2V gaps wander more than a vehicle-to-RSU distance.
+  cfg.distance_sigma_m = cfg.is_v2v() ? 50.0 : 35.0;
+  cfg.distance_tau_s = 60.0;
+  return cfg;
+}
+
+}  // namespace vkey::channel

@@ -1,0 +1,96 @@
+// Probe-exchange trace generation: the synthetic stand-in for the paper's
+// 20+ hours of real-world driving data.
+//
+// One ProbeRound reproduces the paper's probing protocol:
+//   1. Alice transmits a probe packet. While it is on air, Bob's radio
+//      latches one rRSSI register sample per symbol (the instantaneous
+//      "register RSSI" of Sec. II-C). Eve, following Alice, overhears the
+//      same transmission through her own Eve-Alice channel.
+//   2. After Bob's turnaround delay (milliseconds), Bob transmits the
+//      response; Alice samples her rRSSIs, and Eve overhears through the
+//      Eve-Bob channel.
+// Because the packet airtime at SF12 is ~1.5 s while the coherence time at
+// 50 km/h is ~20 ms, the two parties' packet-averaged RSSIs decorrelate, but
+// the boundary samples (end of Bob's window, start of Alice's window, only a
+// turnaround delay apart) remain inside the coherence time — exactly the
+// asymmetry Vehicle-Key exploits.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "channel/device.h"
+#include "channel/fading.h"
+#include "channel/lora_phy.h"
+#include "channel/mobility.h"
+#include "channel/scenario.h"
+#include "common/rng.h"
+
+namespace vkey::channel {
+
+/// rRSSI observations of one received packet.
+struct PacketObservation {
+  double t_start = 0.0;              ///< reception start [s]
+  double t_end = 0.0;                ///< reception end [s]
+  std::vector<double> rrssi;         ///< one register RSSI per symbol [dBm]
+
+  /// Packet RSSI: the average the paper calls pRSSI.
+  double prssi() const;
+};
+
+/// All observations of one probe/response exchange.
+struct ProbeRound {
+  double t_round_start = 0.0;
+  PacketObservation bob_rx;          ///< Bob's view of Alice's probe
+  PacketObservation alice_rx;        ///< Alice's view of Bob's response
+  PacketObservation eve_rx_alice_tx; ///< Eve overhears the probe
+  PacketObservation eve_rx_bob_tx;   ///< Eve overhears the response
+  double distance_m = 0.0;           ///< Alice-Bob separation at round start
+};
+
+struct TraceConfig {
+  ScenarioConfig scenario;
+  LoRaParams phy;
+  DeviceModel device_alice = dragino_lora_shield();
+  DeviceModel device_bob = dragino_lora_shield();
+  DeviceModel device_eve = dragino_lora_shield();
+  /// Idle gap between the end of one exchange and the next probe [s].
+  double probe_interval_s = 0.05;
+  /// Eve's lateral offset from Alice [m]; sets her shadowing correlation
+  /// with the legitimate link (exp(-offset/decorr)) and her Eve-Alice
+  /// distance. > lambda/2, so her small-scale fading is independent.
+  double eve_offset_m = 15.0;
+  std::uint64_t seed = 1;
+};
+
+/// Deterministic generator of probe rounds for one scenario/configuration.
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(const TraceConfig& config);
+  ~TraceGenerator();
+  TraceGenerator(TraceGenerator&&) noexcept;
+  TraceGenerator& operator=(TraceGenerator&&) noexcept;
+
+  /// Produce the next probe exchange (advances simulated time).
+  ProbeRound next_round();
+
+  /// Produce `n` consecutive rounds.
+  std::vector<ProbeRound> generate(std::size_t n);
+
+  /// Wall-clock duration of one complete exchange including the probe
+  /// interval [s] — the denominator of every key-generation-rate figure.
+  double round_duration() const;
+
+  const LoRaPhy& phy() const;
+
+  /// Doppler-derived coherence time at the configured scenario speed
+  /// (T_c ~ 0.423 / f_d), for diagnostics and the Sec. II analysis bench.
+  double coherence_time_s() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace vkey::channel

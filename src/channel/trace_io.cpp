@@ -1,0 +1,121 @@
+#include "channel/trace_io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vkey::channel {
+
+namespace {
+
+const char* kHeader = "round,observer,symbol,t_start,rssi_dbm";
+
+const char* observer_name(int idx) {
+  switch (idx) {
+    case 0: return "bob_rx";
+    case 1: return "alice_rx";
+    case 2: return "eve_rx_alice_tx";
+    case 3: return "eve_rx_bob_tx";
+  }
+  throw vkey::Error("bad observer index");
+}
+
+PacketObservation& observation_of(ProbeRound& round,
+                                  const std::string& name) {
+  if (name == "bob_rx") return round.bob_rx;
+  if (name == "alice_rx") return round.alice_rx;
+  if (name == "eve_rx_alice_tx") return round.eve_rx_alice_tx;
+  if (name == "eve_rx_bob_tx") return round.eve_rx_bob_tx;
+  throw vkey::Error("unknown observer '" + name + "' in trace CSV");
+}
+
+}  // namespace
+
+void write_trace_csv(std::ostream& out,
+                     const std::vector<ProbeRound>& rounds) {
+  // Full round-trip fidelity for the timestamps.
+  out.precision(17);
+  out << kHeader << "\n";
+  for (std::size_t r = 0; r < rounds.size(); ++r) {
+    const PacketObservation* obs[] = {
+        &rounds[r].bob_rx, &rounds[r].alice_rx, &rounds[r].eve_rx_alice_tx,
+        &rounds[r].eve_rx_bob_tx};
+    for (int o = 0; o < 4; ++o) {
+      for (std::size_t s = 0; s < obs[o]->rrssi.size(); ++s) {
+        out << r << ',' << observer_name(o) << ',' << s << ','
+            << obs[o]->t_start << ',' << obs[o]->rrssi[s] << "\n";
+      }
+    }
+  }
+  VKEY_REQUIRE(out.good(), "trace CSV write failed");
+}
+
+void save_trace_csv(const std::string& path,
+                    const std::vector<ProbeRound>& rounds) {
+  std::ofstream f(path);
+  VKEY_REQUIRE(f.good(), "cannot open for writing: " + path);
+  write_trace_csv(f, rounds);
+}
+
+std::vector<ProbeRound> read_trace_csv(std::istream& in) {
+  std::string line;
+  VKEY_REQUIRE(static_cast<bool>(std::getline(in, line)),
+               "empty trace CSV");
+  VKEY_REQUIRE(line == kHeader, "unexpected trace CSV header: " + line);
+
+  std::map<std::size_t, ProbeRound> rounds;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string round_s, observer, symbol_s, t_s, rssi_s;
+    const bool ok = static_cast<bool>(std::getline(row, round_s, ',')) &&
+                    static_cast<bool>(std::getline(row, observer, ',')) &&
+                    static_cast<bool>(std::getline(row, symbol_s, ',')) &&
+                    static_cast<bool>(std::getline(row, t_s, ',')) &&
+                    static_cast<bool>(std::getline(row, rssi_s));
+    VKEY_REQUIRE(ok, "malformed trace CSV at line " +
+                         std::to_string(line_no));
+    std::size_t round_idx = 0, symbol = 0;
+    double t_start = 0.0, rssi = 0.0;
+    try {
+      round_idx = std::stoul(round_s);
+      symbol = std::stoul(symbol_s);
+      t_start = std::stod(t_s);
+      rssi = std::stod(rssi_s);
+    } catch (const std::exception&) {
+      throw vkey::Error("non-numeric field in trace CSV at line " +
+                        std::to_string(line_no));
+    }
+    ProbeRound& round = rounds[round_idx];
+    PacketObservation& obs = observation_of(round, observer);
+    VKEY_REQUIRE(symbol == obs.rrssi.size(),
+                 "out-of-order symbol index at line " +
+                     std::to_string(line_no));
+    if (symbol == 0) obs.t_start = t_start;
+    obs.rrssi.push_back(rssi);
+  }
+
+  std::vector<ProbeRound> out;
+  out.reserve(rounds.size());
+  for (auto& [idx, round] : rounds) {
+    VKEY_REQUIRE(!round.bob_rx.rrssi.empty() &&
+                     !round.alice_rx.rrssi.empty(),
+                 "round " + std::to_string(idx) +
+                     " is missing legitimate observations");
+    round.t_round_start = round.bob_rx.t_start;
+    out.push_back(std::move(round));
+  }
+  return out;
+}
+
+std::vector<ProbeRound> load_trace_csv(const std::string& path) {
+  std::ifstream f(path);
+  VKEY_REQUIRE(f.good(), "cannot open for reading: " + path);
+  return read_trace_csv(f);
+}
+
+}  // namespace vkey::channel

@@ -1,0 +1,36 @@
+// Trace (de)serialization: CSV export/import of probe-round observations.
+//
+// Lets researchers run the Vehicle-Key pipeline on *real* register-RSSI
+// captures (the paper's setup) instead of the simulator: record per-symbol
+// rRSSI on actual SX127x hardware, dump to this CSV schema, and feed it to
+// KeyGenPipeline via dataset extraction. Also used to archive simulated
+// traces for exact reproduction across machines.
+//
+// Schema (one row per register sample):
+//   round,observer,symbol,t_start,rssi_dbm
+// where observer is one of: bob_rx, alice_rx, eve_rx_alice_tx,
+// eve_rx_bob_tx. Rows must be grouped by round (ascending); symbol indexes
+// within the packet.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "channel/trace.h"
+
+namespace vkey::channel {
+
+/// Write rounds to a CSV stream/file.
+void write_trace_csv(std::ostream& out,
+                     const std::vector<ProbeRound>& rounds);
+void save_trace_csv(const std::string& path,
+                    const std::vector<ProbeRound>& rounds);
+
+/// Parse a CSV stream/file produced by write_trace_csv (or by a hardware
+/// capture tool following the same schema). Throws vkey::Error on malformed
+/// input; rounds with missing observers are rejected.
+std::vector<ProbeRound> read_trace_csv(std::istream& in);
+std::vector<ProbeRound> load_trace_csv(const std::string& path);
+
+}  // namespace vkey::channel

@@ -1,0 +1,118 @@
+#include "common/bitvec.h"
+
+#include "common/error.h"
+
+namespace vkey {
+
+BitVec::BitVec(std::vector<std::uint8_t> bits) : bits_(std::move(bits)) {
+  for (auto& b : bits_) {
+    VKEY_REQUIRE(b == 0 || b == 1, "BitVec elements must be 0 or 1");
+  }
+}
+
+BitVec BitVec::from_string(const std::string& s) {
+  BitVec out;
+  out.bits_.reserve(s.size());
+  for (char c : s) {
+    VKEY_REQUIRE(c == '0' || c == '1', "BitVec string must be 0/1");
+    out.bits_.push_back(c == '1' ? 1 : 0);
+  }
+  return out;
+}
+
+BitVec BitVec::from_bytes(const std::vector<std::uint8_t>& bytes,
+                          std::size_t nbits) {
+  VKEY_REQUIRE(nbits <= bytes.size() * 8, "not enough bytes for nbits");
+  BitVec out;
+  out.bits_.reserve(nbits);
+  for (std::size_t i = 0; i < nbits; ++i) {
+    const std::uint8_t byte = bytes[i / 8];
+    out.bits_.push_back((byte >> (7 - (i % 8))) & 1u);
+  }
+  return out;
+}
+
+std::uint8_t BitVec::get(std::size_t i) const {
+  VKEY_REQUIRE(i < bits_.size(), "BitVec index out of range");
+  return bits_[i];
+}
+
+void BitVec::set(std::size_t i, bool v) {
+  VKEY_REQUIRE(i < bits_.size(), "BitVec index out of range");
+  bits_[i] = v ? 1 : 0;
+}
+
+void BitVec::flip(std::size_t i) {
+  VKEY_REQUIRE(i < bits_.size(), "BitVec index out of range");
+  bits_[i] ^= 1u;
+}
+
+void BitVec::append(const BitVec& other) {
+  bits_.insert(bits_.end(), other.bits_.begin(), other.bits_.end());
+}
+
+BitVec BitVec::slice(std::size_t pos, std::size_t len) const {
+  VKEY_REQUIRE(pos + len <= bits_.size(), "BitVec slice out of range");
+  BitVec out;
+  out.bits_.assign(bits_.begin() + static_cast<std::ptrdiff_t>(pos),
+                   bits_.begin() + static_cast<std::ptrdiff_t>(pos + len));
+  return out;
+}
+
+BitVec BitVec::operator^(const BitVec& rhs) const {
+  VKEY_REQUIRE(size() == rhs.size(), "BitVec XOR size mismatch");
+  BitVec out(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    out.bits_[i] = bits_[i] ^ rhs.bits_[i];
+  }
+  return out;
+}
+
+std::size_t BitVec::weight() const {
+  std::size_t w = 0;
+  for (auto b : bits_) w += b;
+  return w;
+}
+
+std::size_t BitVec::hamming_distance(const BitVec& rhs) const {
+  VKEY_REQUIRE(size() == rhs.size(), "hamming_distance size mismatch");
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < size(); ++i) d += bits_[i] != rhs.bits_[i];
+  return d;
+}
+
+double BitVec::agreement(const BitVec& rhs) const {
+  VKEY_REQUIRE(!empty(), "agreement of empty BitVec");
+  const std::size_t d = hamming_distance(rhs);
+  return 1.0 - static_cast<double>(d) / static_cast<double>(size());
+}
+
+std::vector<std::uint8_t> BitVec::to_bytes() const {
+  std::vector<std::uint8_t> out((bits_.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i]) out[i / 8] |= static_cast<std::uint8_t>(1u << (7 - (i % 8)));
+  }
+  return out;
+}
+
+std::string BitVec::to_string() const {
+  std::string s;
+  s.reserve(bits_.size());
+  for (auto b : bits_) s.push_back(b ? '1' : '0');
+  return s;
+}
+
+std::vector<double> BitVec::to_doubles() const {
+  std::vector<double> v(bits_.size());
+  for (std::size_t i = 0; i < bits_.size(); ++i) v[i] = bits_[i];
+  return v;
+}
+
+BitVec BitVec::from_doubles_threshold(const std::vector<double>& v,
+                                      double threshold) {
+  BitVec out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out.bits_[i] = v[i] >= threshold;
+  return out;
+}
+
+}  // namespace vkey

@@ -1,0 +1,84 @@
+// Compact bit vector used for keys and quantizer outputs.
+//
+// Keys in Vehicle-Key are sequences of bits that flow through quantization,
+// Bloom mapping, reconciliation (XOR algebra) and privacy amplification.
+// BitVec provides exactly the operations those stages need: indexed access,
+// XOR, Hamming distance/weight, byte (de)serialization and pretty printing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vkey {
+
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// All-zero vector of `n` bits.
+  explicit BitVec(std::size_t n) : bits_(n, 0) {}
+
+  /// From an explicit 0/1 sequence.
+  explicit BitVec(std::vector<std::uint8_t> bits);
+
+  /// Parse from a string of '0'/'1' characters (other chars are rejected).
+  static BitVec from_string(const std::string& s);
+
+  /// Unpack from bytes, MSB-first within each byte, taking `nbits` bits.
+  static BitVec from_bytes(const std::vector<std::uint8_t>& bytes,
+                           std::size_t nbits);
+
+  std::size_t size() const { return bits_.size(); }
+  bool empty() const { return bits_.empty(); }
+
+  /// Bit access (0 or 1). Bounds-checked.
+  std::uint8_t get(std::size_t i) const;
+  void set(std::size_t i, bool v);
+  void flip(std::size_t i);
+
+  /// Append a single bit.
+  void push_back(bool v) { bits_.push_back(v ? 1 : 0); }
+
+  /// Append all bits of `other`.
+  void append(const BitVec& other);
+
+  /// Sub-range [pos, pos+len).
+  BitVec slice(std::size_t pos, std::size_t len) const;
+
+  /// Element-wise XOR; sizes must match.
+  BitVec operator^(const BitVec& rhs) const;
+
+  bool operator==(const BitVec& rhs) const { return bits_ == rhs.bits_; }
+  bool operator!=(const BitVec& rhs) const { return bits_ != rhs.bits_; }
+
+  /// Number of set bits.
+  std::size_t weight() const;
+
+  /// Number of differing positions; sizes must match.
+  std::size_t hamming_distance(const BitVec& rhs) const;
+
+  /// Fraction of agreeing bits in [0,1]; sizes must match, size > 0.
+  double agreement(const BitVec& rhs) const;
+
+  /// Pack MSB-first into bytes (last byte zero-padded).
+  std::vector<std::uint8_t> to_bytes() const;
+
+  /// Render as a '0'/'1' string.
+  std::string to_string() const;
+
+  /// Bits as a vector of 0.0/1.0 doubles (neural-network I/O).
+  std::vector<double> to_doubles() const;
+
+  /// Build from real values thresholded at 0.5.
+  static BitVec from_doubles_threshold(const std::vector<double>& v,
+                                       double threshold = 0.5);
+
+  const std::vector<std::uint8_t>& raw() const { return bits_; }
+
+ private:
+  std::vector<std::uint8_t> bits_;  // one byte per bit; values 0 or 1
+};
+
+}  // namespace vkey

@@ -1,0 +1,46 @@
+// Error handling primitives shared by all Vehicle-Key modules.
+//
+// Public APIs validate their preconditions with VKEY_REQUIRE, which throws
+// vkey::Error (derived from std::runtime_error) carrying a formatted message
+// including the failing expression and source location.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vkey {
+
+/// Exception type thrown on any contract violation or unrecoverable failure
+/// inside the Vehicle-Key library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::string full = "vkey: requirement failed: ";
+  full += expr;
+  if (!msg.empty()) {
+    full += " (";
+    full += msg;
+    full += ")";
+  }
+  full += " at ";
+  full += file;
+  full += ":";
+  full += std::to_string(line);
+  throw Error(full);
+}
+}  // namespace detail
+
+}  // namespace vkey
+
+/// Validate a precondition; throws vkey::Error with context on failure.
+#define VKEY_REQUIRE(expr, msg)                                        \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::vkey::detail::throw_error(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                  \
+  } while (false)

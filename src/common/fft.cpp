@@ -1,0 +1,51 @@
+#include "common/fft.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vkey::fftmod {
+
+void fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  VKEY_REQUIRE(n >= 1 && (n & (n - 1)) == 0, "fft length must be power of 2");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * M_PI / static_cast<double>(len) *
+                       (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::size_t next_pow2(std::size_t n) {
+  VKEY_REQUIRE(n >= 1, "next_pow2 needs n >= 1");
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::vector<std::complex<double>> fft_real(const std::vector<double>& x) {
+  VKEY_REQUIRE(!x.empty(), "fft_real of empty series");
+  std::vector<std::complex<double>> data(next_pow2(x.size()));
+  for (std::size_t i = 0; i < x.size(); ++i) data[i] = {x[i], 0.0};
+  fft(data);
+  return data;
+}
+
+}  // namespace vkey::fftmod

@@ -1,0 +1,25 @@
+// Radix-2 complex FFT.
+//
+// Needed by the NIST DFT (spectral) test in Table II. Input length is padded
+// to the next power of two by the caller when required; this routine requires
+// a power-of-two length.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace vkey::fftmod {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. data.size() must be a power
+/// of two (and >= 1). `inverse` computes the unscaled inverse transform
+/// (caller divides by N if normalization is desired).
+void fft(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+/// Convenience: forward FFT of a real series zero-padded to a power of two;
+/// returns the complex spectrum.
+std::vector<std::complex<double>> fft_real(const std::vector<double>& x);
+
+}  // namespace vkey::fftmod

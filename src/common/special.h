@@ -1,0 +1,29 @@
+// Special functions required by the NIST SP 800-22 statistical tests.
+//
+// The suite's p-values are expressed in terms of the complementary error
+// function erfc and the regularized incomplete gamma functions P(a,x)/Q(a,x)
+// (NIST calls Q "igamc"). Implementations follow the classic series /
+// continued-fraction split (Numerical Recipes style), accurate to ~1e-12 over
+// the parameter ranges the tests use.
+#pragma once
+
+namespace vkey::special {
+
+/// Complementary error function (thin wrapper over std::erfc, exposed here so
+/// NIST code depends only on this header).
+double erfc(double x);
+
+/// Natural log of the gamma function, x > 0 (Lanczos approximation).
+double lgamma(double x);
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a,x)/Γ(a); a > 0, x >= 0.
+double igam(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = Γ(a,x)/Γ(a) = 1 - P(a, x).
+/// This is the "igamc" used throughout NIST SP 800-22.
+double igamc(double a, double x);
+
+/// Standard normal cumulative distribution function.
+double normal_cdf(double x);
+
+}  // namespace vkey::special

@@ -1,0 +1,43 @@
+// Console table / CSV rendering for the benchmark harness.
+//
+// Every bench binary reproduces a paper table or figure by printing rows; this
+// helper keeps the output format consistent (aligned columns, optional CSV for
+// downstream plotting).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vkey {
+
+class Table {
+ public:
+  /// Create a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row (must match the header count).
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string fmt(double v, int precision = 2);
+  /// Percentage with '%' suffix (v in [0,1] -> "98.87%").
+  static std::string pct(double v, int precision = 2);
+
+  /// Render with aligned columns and a separator under the header.
+  std::string to_string() const;
+
+  /// Render as CSV (comma-separated, no quoting of commas — callers avoid
+  /// commas in cells).
+  std::string to_csv() const;
+
+  /// Print to stdout with an optional caption line above.
+  void print(const std::string& caption = "") const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vkey

@@ -1,0 +1,75 @@
+#include "core/dataset.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace vkey::core {
+
+ArRssiStreams extract_streams(const std::vector<channel::ProbeRound>& rounds,
+                              const ArRssiExtractor& extractor,
+                              std::size_t reciprocal_windows) {
+  ArRssiStreams s;
+  for (const auto& r : rounds) {
+    const auto a = extractor.sequence(r.alice_rx);
+    const auto b = extractor.sequence(r.bob_rx);
+    const auto e = extractor.sequence(r.eve_rx_bob_tx);
+    // Keep the streams index-aligned even if sample counts differ by one
+    // (defensive; packets share the same PHY so counts normally match).
+    const std::size_t n = std::min({a.size(), b.size(), e.size()});
+    if (n == 0) continue;
+    const std::size_t k =
+        reciprocal_windows == 0 ? n : std::min(reciprocal_windows, n);
+    for (std::size_t j = 0; j < k; ++j) {
+      // Alice: head of her reception window; Bob: tail of his, mirrored so
+      // that index-aligned values are the temporally closest pairs.
+      s.alice.push_back(a[j]);
+      s.bob.push_back(b[n - 1 - j]);
+      s.eve.push_back(e[j]);
+    }
+  }
+  return s;
+}
+
+nn::Vec normalize_window(const std::vector<double>& raw, std::size_t pos,
+                         std::size_t len) {
+  VKEY_REQUIRE(pos + len <= raw.size(), "window out of range");
+  const std::span<const double> w(raw.data() + pos, len);
+  return vkey::stats::minmax01(w);
+}
+
+std::vector<TrainingSample> make_samples(const ArRssiStreams& streams,
+                                         const DatasetConfig& cfg) {
+  VKEY_REQUIRE(cfg.seq_len >= 4, "sequence length too short");
+  VKEY_REQUIRE(streams.alice.size() == streams.bob.size() &&
+                   streams.alice.size() == streams.eve.size(),
+               "misaligned streams");
+  const std::size_t stride = cfg.stride == 0 ? cfg.seq_len : cfg.stride;
+
+  std::vector<TrainingSample> samples;
+  for (std::size_t pos = 0; pos + cfg.seq_len <= streams.alice.size();
+       pos += stride) {
+    TrainingSample s;
+    s.alice_seq = normalize_window(streams.alice, pos, cfg.seq_len);
+    s.bob_seq = normalize_window(streams.bob, pos, cfg.seq_len);
+    s.eve_seq = normalize_window(streams.eve, pos, cfg.seq_len);
+
+    // Bob quantizes his raw (unnormalized) window; the quantizer is
+    // block-adaptive so scale does not matter, but we pass raw values to
+    // mirror the real protocol. Guard bands are disabled for Bob inside
+    // Vehicle-Key (the BiLSTM head replaces index reconciliation).
+    QuantizerConfig qc = cfg.quantizer;
+    qc.guard_band_ratio = 0.0;
+    qc.block_size = std::min(qc.block_size, cfg.seq_len);
+    MultiBitQuantizer q(qc);
+    std::vector<double> bob_raw(
+        streams.bob.begin() + static_cast<std::ptrdiff_t>(pos),
+        streams.bob.begin() + static_cast<std::ptrdiff_t>(pos + cfg.seq_len));
+    s.bob_bits = q.quantize(bob_raw).bits;
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+}  // namespace vkey::core

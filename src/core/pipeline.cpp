@@ -1,0 +1,164 @@
+#include "core/pipeline.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace vkey::core {
+
+KeyGenPipeline::KeyGenPipeline(const PipelineConfig& config) : cfg_(config) {
+  VKEY_REQUIRE(cfg_.reconciler.key_bits % cfg_.predictor.key_bits == 0,
+               "reconciler block must be a multiple of the fragment width");
+  VKEY_REQUIRE(cfg_.dataset.seq_len == cfg_.predictor.seq_len,
+               "dataset and predictor sequence lengths must match");
+}
+
+PredictorQuantizer& KeyGenPipeline::predictor() {
+  VKEY_REQUIRE(predictor_.has_value(), "run() has not trained a predictor");
+  return *predictor_;
+}
+
+AutoencoderReconciler& KeyGenPipeline::reconciler() {
+  VKEY_REQUIRE(reconciler_.has_value(), "run() has not trained a reconciler");
+  return *reconciler_;
+}
+
+PipelineMetrics KeyGenPipeline::run(std::size_t train_rounds,
+                                    std::size_t test_rounds) {
+  VKEY_REQUIRE(test_rounds >= 1, "need test rounds");
+  channel::TraceGenerator gen(cfg_.trace);
+
+  // --- data collection ---
+  const auto train_trace = gen.generate(train_rounds);
+  const auto test_trace = gen.generate(test_rounds);
+  const auto train_streams = extract_streams(
+      train_trace, cfg_.dataset.extractor, cfg_.dataset.reciprocal_windows);
+  const auto test_streams = extract_streams(
+      test_trace, cfg_.dataset.extractor, cfg_.dataset.reciprocal_windows);
+  DatasetConfig train_ds = cfg_.dataset;
+  train_ds.stride = cfg_.train_stride;
+  DatasetConfig test_ds = cfg_.dataset;
+  test_ds.stride = 0;  // non-overlapping evaluation windows
+  const auto train_samples = make_samples(train_streams, train_ds);
+  const auto test_samples = make_samples(test_streams, test_ds);
+  VKEY_REQUIRE(!test_samples.empty(), "test segment produced no samples");
+
+  // --- training ---
+  if (cfg_.use_prediction) {
+    VKEY_REQUIRE(!train_samples.empty(), "train segment produced no samples");
+    predictor_.emplace(cfg_.predictor);
+    predictor_->train(train_samples, cfg_.predictor_epochs);
+  }
+  reconciler_.emplace(cfg_.reconciler);
+  reconciler_->train(cfg_.reconciler_samples, cfg_.reconciler_epochs);
+
+  // --- evaluation ---
+  MultiBitQuantizer fallback_quant([&] {
+    QuantizerConfig qc = cfg_.dataset.quantizer;
+    qc.guard_band_ratio = 0.0;
+    qc.block_size = std::min(qc.block_size, cfg_.dataset.seq_len);
+    return qc;
+  }());
+
+  blocks_.clear();
+  BitVec alice_acc, bob_acc, eve_acc;
+  std::vector<double> kar_pre_list, kar_post_list, eve_list, eve_iter_list;
+  std::size_t success = 0;
+
+  for (const auto& s : test_samples) {
+    BitVec alice_frag, eve_frag;
+    if (cfg_.use_prediction) {
+      alice_frag = predictor_->infer(s.alice_seq).bits;
+      eve_frag = predictor_->infer(s.eve_seq).bits;
+    } else {
+      // Ablation: Alice quantizes her own window directly.
+      std::vector<double> a(s.alice_seq.begin(), s.alice_seq.end());
+      std::vector<double> e(s.eve_seq.begin(), s.eve_seq.end());
+      alice_frag = fallback_quant.quantize(a).bits;
+      eve_frag = fallback_quant.quantize(e).bits;
+      // Pad/trim to the fragment width (guard bands disabled, so sizes
+      // normally already match).
+      while (alice_frag.size() < cfg_.predictor.key_bits)
+        alice_frag.push_back(false);
+      alice_frag = alice_frag.slice(0, cfg_.predictor.key_bits);
+      while (eve_frag.size() < cfg_.predictor.key_bits)
+        eve_frag.push_back(false);
+      eve_frag = eve_frag.slice(0, cfg_.predictor.key_bits);
+    }
+    alice_acc.append(alice_frag);
+    eve_acc.append(eve_frag);
+    bob_acc.append(s.bob_bits);
+
+    if (alice_acc.size() >= cfg_.reconciler.key_bits) {
+      KeyBlockResult blk;
+      blk.bob_key = bob_acc.slice(0, cfg_.reconciler.key_bits);
+      const BitVec ka = alice_acc.slice(0, cfg_.reconciler.key_bits);
+      const BitVec ke = eve_acc.slice(0, cfg_.reconciler.key_bits);
+      alice_acc = alice_acc.slice(cfg_.reconciler.key_bits,
+                                  alice_acc.size() - cfg_.reconciler.key_bits);
+      bob_acc = bob_acc.slice(cfg_.reconciler.key_bits,
+                              bob_acc.size() - cfg_.reconciler.key_bits);
+      eve_acc = eve_acc.slice(cfg_.reconciler.key_bits,
+                              eve_acc.size() - cfg_.reconciler.key_bits);
+
+      blk.kar_pre = ka.agreement(blk.bob_key);
+      const auto y_bob = reconciler_->encode_bob(blk.bob_key);
+      blk.alice_corrected = reconciler_->reconcile(ka, y_bob);
+      blk.kar_post = blk.alice_corrected.agreement(blk.bob_key);
+      blk.success = blk.alice_corrected == blk.bob_key;
+      // Eve eavesdrops y_Bob and runs the public decoder with her key:
+      // one-shot (the paper's Fig. 15 attack) and iterative (stronger).
+      blk.eve_kar_post =
+          reconciler_->reconcile_one_shot(ke, y_bob).agreement(blk.bob_key);
+      blk.eve_kar_iterative =
+          reconciler_->reconcile(ke, y_bob).agreement(blk.bob_key);
+
+      kar_pre_list.push_back(blk.kar_pre);
+      kar_post_list.push_back(blk.kar_post);
+      eve_list.push_back(blk.eve_kar_post);
+      eve_iter_list.push_back(blk.eve_kar_iterative);
+      if (blk.success) ++success;
+      blocks_.push_back(std::move(blk));
+    }
+  }
+  VKEY_REQUIRE(!blocks_.empty(), "not enough test data for one key block");
+
+  PipelineMetrics m;
+  m.blocks = blocks_.size();
+  m.mean_kar_pre = vkey::stats::mean(kar_pre_list);
+  m.mean_kar_post = vkey::stats::mean(kar_post_list);
+  m.std_kar_post = kar_post_list.size() >= 2
+                       ? vkey::stats::sample_stddev(kar_post_list)
+                       : 0.0;
+  m.key_success_rate =
+      static_cast<double>(success) / static_cast<double>(blocks_.size());
+  m.mean_eve_kar = vkey::stats::mean(eve_list);
+  m.mean_eve_kar_iterative = vkey::stats::mean(eve_iter_list);
+  m.test_duration_s = static_cast<double>(test_rounds) * gen.round_duration();
+  // Key generation rate (the convention of the LoRa key-generation
+  // literature): net secret bits produced per second of channel use —
+  // matched post-reconciliation bits, minus the public-syndrome leakage
+  // (code_dim values leak at most code_dim bits; privacy amplification
+  // discounts them). The same accounting is applied to every baseline.
+  const double net_bits_per_block =
+      std::max(0.0, static_cast<double>(cfg_.reconciler.key_bits) -
+                        static_cast<double>(cfg_.reconciler.code_dim));
+  m.kgr_bits_per_s = static_cast<double>(blocks_.size()) *
+                     net_bits_per_block * m.mean_kar_post /
+                     m.test_duration_s;
+  return m;
+}
+
+BitVec KeyGenPipeline::amplified_key_stream() const {
+  VKEY_REQUIRE(!blocks_.empty(), "run() produced no blocks");
+  BitVec stream;
+  std::uint64_t salt = 0;
+  for (const auto& blk : blocks_) {
+    if (!blk.success) continue;
+    stream.append(amplifier_.amplify(blk.alice_corrected, salt++));
+  }
+  return stream;
+}
+
+}  // namespace vkey::core

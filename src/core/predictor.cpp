@@ -1,0 +1,156 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "nn/activations.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace vkey::core {
+
+namespace {
+/// Per-step input: [value, phase within the mirror pairing, progress].
+nn::Seq to_seq(const nn::Vec& v, std::size_t phase_period) {
+  nn::Seq s(v.size());
+  const double n = static_cast<double>(v.size());
+  const double period = static_cast<double>(std::max<std::size_t>(1, phase_period));
+  for (std::size_t t = 0; t < v.size(); ++t) {
+    s[t] = {v[t], static_cast<double>(t % phase_period) / period,
+            static_cast<double>(t) / n};
+  }
+  return s;
+}
+}  // namespace
+
+PredictorQuantizer::PredictorQuantizer(const PredictorConfig& config)
+    : cfg_(config),
+      rng_(config.seed),
+      bilstm_(3, config.hidden, rng_),
+      pred_head_(config.seq_len * 2 * config.hidden, config.seq_len, rng_),
+      quant_head_(config.seq_len, config.key_bits, rng_) {
+  VKEY_REQUIRE(config.seq_len >= 4, "sequence too short");
+  VKEY_REQUIRE(config.hidden >= 2, "hidden size too small");
+  VKEY_REQUIRE(config.theta >= 0.0 && config.theta <= 1.0,
+               "theta must be in [0,1]");
+}
+
+std::vector<nn::Parameter*> PredictorQuantizer::parameters() {
+  auto p = bilstm_.parameters();
+  for (auto* q : pred_head_.parameters()) p.push_back(q);
+  for (auto* q : quant_head_.parameters()) p.push_back(q);
+  return p;
+}
+
+double PredictorQuantizer::train_one(const TrainingSample& s) {
+  VKEY_REQUIRE(s.alice_seq.size() == cfg_.seq_len, "sample seq_len mismatch");
+  VKEY_REQUIRE(s.bob_seq.size() == cfg_.seq_len, "sample target mismatch");
+  VKEY_REQUIRE(s.bob_bits.size() == cfg_.key_bits,
+               "sample bits width mismatch");
+
+  // Forward.
+  const nn::Seq h = bilstm_.forward(to_seq(s.alice_seq, cfg_.phase_period));
+  nn::Vec flat;
+  flat.reserve(cfg_.seq_len * 2 * cfg_.hidden);
+  for (const auto& ht : h) flat.insert(flat.end(), ht.begin(), ht.end());
+  const nn::Vec y_hat = pred_head_.forward(flat);
+  const nn::Vec logits = quant_head_.forward(y_hat);
+
+  // Joint loss.
+  const auto mse = nn::mse_loss(y_hat, s.bob_seq);
+  const auto bce = nn::bce_with_logits(logits, s.bob_bits.to_doubles());
+  const double loss = cfg_.theta * mse.loss + (1.0 - cfg_.theta) * bce.loss;
+
+  // Backward: BCE through the quantization head into y_hat, plus the MSE
+  // gradient directly on y_hat.
+  nn::Vec dlogits(bce.grad.size());
+  for (std::size_t i = 0; i < dlogits.size(); ++i) {
+    dlogits[i] = (1.0 - cfg_.theta) * bce.grad[i];
+  }
+  nn::Vec dy = quant_head_.backward(dlogits);
+  for (std::size_t i = 0; i < dy.size(); ++i) {
+    dy[i] += cfg_.theta * mse.grad[i];
+  }
+  const nn::Vec dflat = pred_head_.backward(dy);
+
+  nn::Seq dh(cfg_.seq_len, nn::Vec(2 * cfg_.hidden));
+  for (std::size_t t = 0; t < cfg_.seq_len; ++t) {
+    std::copy(dflat.begin() + static_cast<std::ptrdiff_t>(t * 2 * cfg_.hidden),
+              dflat.begin() +
+                  static_cast<std::ptrdiff_t>((t + 1) * 2 * cfg_.hidden),
+              dh[t].begin());
+  }
+  bilstm_.backward(dh);
+  return loss;
+}
+
+TrainReport PredictorQuantizer::train(std::span<const TrainingSample> samples,
+                                      std::size_t epochs) {
+  VKEY_REQUIRE(!samples.empty(), "no training samples");
+  nn::Adam opt(parameters(), cfg_.learning_rate);
+
+  std::vector<std::size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainReport report;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    // Shuffle sample order each epoch.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1],
+                order[static_cast<std::size_t>(rng_.uniform_int(i))]);
+    }
+    double epoch_loss = 0.0;
+    std::size_t in_batch = 0;
+    for (std::size_t idx : order) {
+      epoch_loss += train_one(samples[idx]);
+      if (++in_batch == cfg_.batch_size) {
+        opt.step(in_batch);
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) opt.step(in_batch);
+    report.epoch_loss.push_back(epoch_loss /
+                                static_cast<double>(samples.size()));
+  }
+  report.final_loss = report.epoch_loss.back();
+  return report;
+}
+
+PredictorQuantizer::Output PredictorQuantizer::infer(
+    const nn::Vec& alice_seq) const {
+  VKEY_REQUIRE(alice_seq.size() == cfg_.seq_len, "input seq_len mismatch");
+  const nn::Seq h = bilstm_.infer(to_seq(alice_seq, cfg_.phase_period));
+  nn::Vec flat;
+  flat.reserve(cfg_.seq_len * 2 * cfg_.hidden);
+  for (const auto& ht : h) flat.insert(flat.end(), ht.begin(), ht.end());
+  Output out;
+  out.predicted_seq = pred_head_.infer(flat);
+  const nn::Vec logits = quant_head_.infer(out.predicted_seq);
+  out.probabilities = nn::sigmoid_vec(logits);
+  out.bits = BitVec::from_doubles_threshold(out.probabilities);
+  return out;
+}
+
+double PredictorQuantizer::evaluate_loss(
+    std::span<const TrainingSample> samples) const {
+  VKEY_REQUIRE(!samples.empty(), "no samples");
+  double total = 0.0;
+  for (const auto& s : samples) {
+    const Output o = infer(s.alice_seq);
+    const auto mse = nn::mse_loss(o.predicted_seq, s.bob_seq);
+    // Recompute BCE from probabilities (logits not retained): use the
+    // numerically-safe clipped form.
+    double bce = 0.0;
+    const auto z = s.bob_bits.to_doubles();
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      const double p = std::clamp(o.probabilities[i], 1e-12, 1.0 - 1e-12);
+      bce += -(z[i] * std::log(p) + (1.0 - z[i]) * std::log(1.0 - p));
+    }
+    total += cfg_.theta * mse.loss + (1.0 - cfg_.theta) * bce;
+  }
+  return total / static_cast<double>(samples.size());
+}
+
+}  // namespace vkey::core

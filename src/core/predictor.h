@@ -1,0 +1,83 @@
+// The BiLSTM-based joint prediction + quantization model (paper Sec. IV-B).
+//
+// Architecture (Fig. 6): input arRSSI sequence -> one BiLSTM layer ->
+// flatten -> fully connected prediction head (seq_len units, the predicted
+// arRSSI sequence y_hat) -> fully connected quantization head (key_bits
+// units) -> sigmoid -> predicted bit vector z_hat.
+//
+// Joint loss (Eq. 3): theta * MSE(y, y_hat) + (1 - theta) * BCE(z, z_hat)
+// with theta = 0.9. The BCE gradient flows back through the quantization
+// head into the prediction head and the BiLSTM, so the two tasks are
+// optimized together.
+//
+// Only Alice (or a power-rich RSU) runs this model; Bob uses the
+// conventional multi-bit quantizer on his own measurements.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "core/dataset.h"
+#include "nn/dense.h"
+#include "nn/lstm.h"
+
+namespace vkey::core {
+
+struct PredictorConfig {
+  std::size_t seq_len = 64;   ///< input sequence length
+  std::size_t hidden = 32;    ///< BiLSTM hidden units (paper: 128; see
+                              ///< DESIGN.md "NN sizing" for the default)
+  std::size_t key_bits = 64;  ///< quantization head width (paper value)
+  double theta = 0.9;         ///< joint-loss weight (paper value)
+  double learning_rate = 2e-3;
+  std::size_t batch_size = 16;
+  /// Period of the phase input feature. Mirrored reciprocal-zone pairing
+  /// (see dataset.h) gives stream index j a lag of (2*(j mod k)+1) windows;
+  /// feeding the phase j mod k lets the BiLSTM learn per-lag compensation.
+  std::size_t phase_period = 4;
+  std::uint64_t seed = 7;
+};
+
+struct TrainReport {
+  std::vector<double> epoch_loss;   ///< mean joint loss per epoch
+  double final_loss = 0.0;
+};
+
+class PredictorQuantizer {
+ public:
+  explicit PredictorQuantizer(const PredictorConfig& config);
+
+  const PredictorConfig& config() const { return cfg_; }
+
+  /// Train for `epochs` epochs over the samples (Adam, mini-batches).
+  TrainReport train(std::span<const TrainingSample> samples,
+                    std::size_t epochs);
+
+  struct Output {
+    nn::Vec predicted_seq;   ///< y_hat, length seq_len
+    nn::Vec probabilities;   ///< sigmoid outputs, length key_bits
+    BitVec bits;             ///< thresholded at 0.5
+  };
+
+  /// Inference on one normalized arRSSI window.
+  Output infer(const nn::Vec& alice_seq) const;
+
+  /// All trainable parameters (for snapshot/restore and fine-tuning).
+  std::vector<nn::Parameter*> parameters();
+
+  /// Joint loss on a sample set without updating weights.
+  double evaluate_loss(std::span<const TrainingSample> samples) const;
+
+ private:
+  double train_one(const TrainingSample& s);  ///< fwd+bwd, returns loss
+
+  PredictorConfig cfg_;
+  vkey::Rng rng_;
+  nn::BiLstm bilstm_;
+  nn::Dense pred_head_;   ///< flatten(seq_len * 2H) -> seq_len
+  nn::Dense quant_head_;  ///< seq_len -> key_bits (logits)
+};
+
+}  // namespace vkey::core

@@ -1,0 +1,39 @@
+#include "core/privacy.h"
+
+#include "common/error.h"
+#include "crypto/sha256.h"
+
+namespace vkey::core {
+
+PrivacyAmplifier::PrivacyAmplifier(std::size_t out_bits)
+    : out_bits_(out_bits) {
+  VKEY_REQUIRE(out_bits >= 8 && out_bits <= 256 && out_bits % 8 == 0,
+               "out_bits must be a multiple of 8 in [8, 256]");
+}
+
+BitVec PrivacyAmplifier::amplify(const BitVec& raw,
+                                 std::uint64_t session_salt) const {
+  VKEY_REQUIRE(!raw.empty(), "nothing to amplify");
+  crypto::Sha256 h;
+  const auto bytes = raw.to_bytes();
+  h.update(bytes);
+  std::uint8_t salt[8];
+  for (int i = 0; i < 8; ++i) {
+    salt[i] = static_cast<std::uint8_t>(session_salt >> (56 - 8 * i));
+  }
+  h.update(salt, sizeof(salt));
+  const auto digest = h.finalize();
+  return BitVec::from_bytes(
+      std::vector<std::uint8_t>(digest.begin(), digest.end()), out_bits_);
+}
+
+std::array<std::uint8_t, 16> PrivacyAmplifier::aes_key(
+    const BitVec& raw, std::uint64_t session_salt) const {
+  VKEY_REQUIRE(out_bits_ == 128, "aes_key requires 128-bit output");
+  const auto bytes = amplify(raw, session_salt).to_bytes();
+  std::array<std::uint8_t, 16> key{};
+  std::copy(bytes.begin(), bytes.begin() + 16, key.begin());
+  return key;
+}
+
+}  // namespace vkey::core

@@ -1,0 +1,38 @@
+// Privacy amplification (paper Sec. IV-C, final stage).
+//
+// Reconciliation publishes y_Bob, leaking partial information; hashing the
+// agreed bit string compresses that leakage away and whitens residual bias.
+// The paper applies "SHA-128"; we realize it as SHA-256 truncated to the
+// requested output width (128 bits by default), optionally salted with the
+// session id so different sessions with identical raw material still derive
+// independent keys.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bitvec.h"
+
+namespace vkey::core {
+
+class PrivacyAmplifier {
+ public:
+  /// `out_bits` must be in [8, 256] and a multiple of 8.
+  explicit PrivacyAmplifier(std::size_t out_bits = 128);
+
+  /// Hash the agreed raw bits (with an optional session salt) down to the
+  /// configured output width.
+  BitVec amplify(const BitVec& raw, std::uint64_t session_salt = 0) const;
+
+  /// Convenience: amplified key as 16-byte AES-128 key material
+  /// (requires out_bits == 128).
+  std::array<std::uint8_t, 16> aes_key(const BitVec& raw,
+                                       std::uint64_t session_salt = 0) const;
+
+  std::size_t out_bits() const { return out_bits_; }
+
+ private:
+  std::size_t out_bits_;
+};
+
+}  // namespace vkey::core

@@ -1,0 +1,152 @@
+#include "core/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vkey::core {
+
+MultiBitQuantizer::MultiBitQuantizer(const QuantizerConfig& config)
+    : cfg_(config) {
+  VKEY_REQUIRE(cfg_.bits_per_sample >= 1 && cfg_.bits_per_sample <= 4,
+               "bits per sample must be in 1..4");
+  VKEY_REQUIRE(cfg_.block_size >= 4, "block size must be >= 4");
+  VKEY_REQUIRE(cfg_.guard_band_ratio >= 0.0 && cfg_.guard_band_ratio < 1.0,
+               "guard band ratio must be in [0,1)");
+}
+
+std::vector<std::uint8_t> MultiBitQuantizer::gray_code(std::size_t level,
+                                                       int bits) {
+  const std::size_t gray = level ^ (level >> 1);
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((gray >> (bits - 1 - i)) & 1u);
+  }
+  return out;
+}
+
+namespace {
+
+/// Quantile thresholds splitting `sorted` into `levels` equal-mass bins
+/// (levels-1 thresholds).
+std::vector<double> quantile_thresholds(std::vector<double> sorted,
+                                        std::size_t levels) {
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> th(levels - 1);
+  const std::size_t n = sorted.size();
+  for (std::size_t k = 1; k < levels; ++k) {
+    const double pos = static_cast<double>(k) * static_cast<double>(n) /
+                       static_cast<double>(levels);
+    const auto idx = static_cast<std::size_t>(pos);
+    th[k - 1] = sorted[std::min(idx, n - 1)];
+  }
+  return th;
+}
+
+std::size_t level_of(double v, const std::vector<double>& th) {
+  std::size_t level = 0;
+  while (level < th.size() && v >= th[level]) ++level;
+  return level;
+}
+
+}  // namespace
+
+QuantizationResult MultiBitQuantizer::quantize(
+    std::span<const double> values) const {
+  VKEY_REQUIRE(values.size() >= cfg_.block_size,
+               "need at least one full block");
+  const std::size_t levels = 1u << cfg_.bits_per_sample;
+  QuantizationResult out;
+
+  std::size_t start = 0;
+  while (start < values.size()) {
+    std::size_t len = std::min(cfg_.block_size, values.size() - start);
+    // Merge a short trailing block into this one.
+    const std::size_t remaining = values.size() - start - len;
+    if (remaining > 0 && remaining < cfg_.block_size / 2) {
+      len += remaining;
+    }
+    std::vector<double> block(values.begin() + static_cast<std::ptrdiff_t>(start),
+                              values.begin() +
+                                  static_cast<std::ptrdiff_t>(start + len));
+    const auto th = quantile_thresholds(block, levels);
+
+    // Guard band half-width: alpha * mean adjacent-threshold gap / 2.
+    double guard = 0.0;
+    if (cfg_.guard_band_ratio > 0.0 && th.size() >= 1) {
+      double span_est;
+      if (th.size() >= 2) {
+        span_est = (th.back() - th.front()) /
+                   static_cast<double>(th.size() - 1);
+      } else {
+        const auto [mn, mx] = std::minmax_element(block.begin(), block.end());
+        span_est = (*mx - *mn) / 2.0;
+      }
+      guard = cfg_.guard_band_ratio * span_est / 2.0;
+    }
+
+    for (std::size_t i = 0; i < len; ++i) {
+      const double v = block[i];
+      if (guard > 0.0) {
+        bool in_guard = false;
+        for (double t : th) {
+          if (std::fabs(v - t) <= guard) {
+            in_guard = true;
+            break;
+          }
+        }
+        if (in_guard) continue;
+      }
+      const std::size_t level = level_of(v, th);
+      for (std::uint8_t b : gray_code(level, cfg_.bits_per_sample)) {
+        out.bits.push_back(b != 0);
+      }
+      out.kept.push_back(start + i);
+    }
+    start += len;
+  }
+  return out;
+}
+
+BitVec MultiBitQuantizer::quantize_at(
+    std::span<const double> values,
+    std::span<const std::size_t> indices) const {
+  VKEY_REQUIRE(!indices.empty(), "no indices to quantize");
+  const std::size_t levels = 1u << cfg_.bits_per_sample;
+  BitVec out;
+
+  std::size_t start = 0;
+  while (start < indices.size()) {
+    std::size_t len = std::min(cfg_.block_size, indices.size() - start);
+    const std::size_t remaining = indices.size() - start - len;
+    if (remaining > 0 && remaining < cfg_.block_size / 2) len += remaining;
+
+    std::vector<double> block(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::size_t idx = indices[start + i];
+      VKEY_REQUIRE(idx < values.size(), "index out of range");
+      block[i] = values[idx];
+    }
+    const auto th = quantile_thresholds(block, levels);
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::size_t level = level_of(block[i], th);
+      for (std::uint8_t b : gray_code(level, cfg_.bits_per_sample)) {
+        out.push_back(b != 0);
+      }
+    }
+    start += len;
+  }
+  return out;
+}
+
+std::vector<std::size_t> intersect_indices(std::span<const std::size_t> a,
+                                           std::span<const std::size_t> b) {
+  std::vector<std::size_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace vkey::core

@@ -1,0 +1,281 @@
+#include "core/reconciler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.h"
+#include "nn/activations.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace vkey::core {
+
+AutoencoderReconciler::AutoencoderReconciler(const ReconcilerConfig& config)
+    : cfg_(config),
+      rng_(config.seed),
+      bloom_(config.key_bits, config.session_seed),
+      f1_(config.key_bits, config.code_dim, rng_),
+      f2_(config.key_bits, config.code_dim, rng_) {
+  VKEY_REQUIRE(config.key_bits >= 8, "key too short");
+  VKEY_REQUIRE(config.code_dim >= 2, "code dimension too small");
+  VKEY_REQUIRE(config.decoder_layers >= 1, "need at least one decoder layer");
+  VKEY_REQUIRE(config.train_ber_lo >= 0.0 &&
+                   config.train_ber_hi <= 0.5 &&
+                   config.train_ber_lo <= config.train_ber_hi,
+               "bad training BER range");
+
+  std::size_t in = cfg_.code_dim;
+  for (std::size_t l = 0; l < cfg_.decoder_layers; ++l) {
+    decoder_.emplace_back(in, cfg_.decoder_units, rng_,
+                          nn::Activation::kTanh);
+    in = cfg_.decoder_units;
+  }
+  decoder_.emplace_back(in, cfg_.key_bits, rng_);  // logits
+}
+
+std::vector<nn::Parameter*> AutoencoderReconciler::parameters() {
+  std::vector<nn::Parameter*> p;
+  if (!cfg_.freeze_encoder) {
+    if (cfg_.tie_encoders) {
+      // Weights only: the encoder bias cancels in h = y_B - y_A, so it is
+      // pinned at zero to keep training and inference consistent.
+      p.push_back(f1_.parameters()[0]);
+    } else {
+      for (auto* q : f1_.parameters()) p.push_back(q);
+      for (auto* q : f2_.parameters()) p.push_back(q);
+    }
+  }
+  for (auto& layer : decoder_) {
+    for (auto* q : layer.parameters()) p.push_back(q);
+  }
+  return p;
+}
+
+double AutoencoderReconciler::train_one(const BitVec& key_bob,
+                                        const BitVec& key_alice) {
+  const BitVec kb = bloom_.apply(key_bob);
+  const BitVec ka = bloom_.apply(key_alice);
+  const BitVec e = kb ^ ka;
+
+  nn::Vec h(cfg_.code_dim);
+  if (cfg_.tie_encoders) {
+    // Tied linear encoders: h = f(K'_B) - f(K'_A) = W (K'_B - K'_A); the
+    // bias cancels, so training on the difference vector is exactly the
+    // weight-shared gradient (g x kb - g x ka = g x diff).
+    const auto db = kb.to_doubles();
+    const auto da = ka.to_doubles();
+    nn::Vec diff(db.size());
+    for (std::size_t i = 0; i < diff.size(); ++i) diff[i] = db[i] - da[i];
+    h = f1_.forward(diff);
+  } else {
+    const nn::Vec yb = f1_.forward(kb.to_doubles());
+    const nn::Vec ya = f2_.forward(ka.to_doubles());
+    for (std::size_t i = 0; i < h.size(); ++i) h[i] = yb[i] - ya[i];
+  }
+
+  nn::Vec x = h;
+  for (auto& layer : decoder_) x = layer.forward(x);
+
+  const auto bce = nn::bce_with_logits(x, e.to_doubles());
+
+  // Backward through the decoder stack.
+  nn::Vec g = bce.grad;
+  for (std::size_t l = decoder_.size(); l-- > 0;) {
+    g = decoder_[l].backward(g);
+  }
+  if (cfg_.tie_encoders) {
+    f1_.backward(g);
+  } else {
+    // h = yb - ya: gradient splits with opposite signs.
+    f1_.backward(g);
+    nn::Vec neg(g.size());
+    for (std::size_t i = 0; i < g.size(); ++i) neg[i] = -g[i];
+    f2_.backward(neg);
+  }
+  return bce.loss;
+}
+
+double AutoencoderReconciler::train(std::size_t num_samples,
+                                    std::size_t epochs) {
+  VKEY_REQUIRE(num_samples >= 1 && epochs >= 1, "nothing to train on");
+  nn::Adam opt(parameters(), cfg_.learning_rate);
+
+  // Pre-generate the synthetic pair set so epochs revisit the same data.
+  std::vector<std::pair<BitVec, BitVec>> pairs;
+  pairs.reserve(num_samples);
+  for (std::size_t s = 0; s < num_samples; ++s) {
+    BitVec kb(cfg_.key_bits);
+    for (std::size_t i = 0; i < cfg_.key_bits; ++i) {
+      kb.set(i, rng_.bernoulli(0.5));
+    }
+    const double ber = rng_.uniform(cfg_.train_ber_lo, cfg_.train_ber_hi);
+    BitVec ka = kb;
+    for (std::size_t i = 0; i < cfg_.key_bits; ++i) {
+      if (rng_.bernoulli(ber)) ka.flip(i);
+    }
+    pairs.emplace_back(std::move(kb), std::move(ka));
+  }
+
+  double last_epoch_loss = 0.0;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    // Shuffle.
+    for (std::size_t i = pairs.size(); i > 1; --i) {
+      std::swap(pairs[i - 1],
+                pairs[static_cast<std::size_t>(rng_.uniform_int(i))]);
+    }
+    double epoch_loss = 0.0;
+    std::size_t in_batch = 0;
+    for (const auto& [kb, ka] : pairs) {
+      epoch_loss += train_one(kb, ka);
+      if (++in_batch == cfg_.batch_size) {
+        opt.step(in_batch);
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) opt.step(in_batch);
+    last_epoch_loss = epoch_loss / static_cast<double>(pairs.size());
+  }
+  return last_epoch_loss;
+}
+
+std::vector<double> AutoencoderReconciler::encode_bob(
+    const BitVec& key_bob) const {
+  VKEY_REQUIRE(key_bob.size() == cfg_.key_bits, "key width mismatch");
+  return f1_.infer(bloom_.apply(key_bob).to_doubles());
+}
+
+AutoencoderReconciler::DecodeResult AutoencoderReconciler::decode_mismatch(
+    const BitVec& key_alice, std::span<const double> y_bob) const {
+  VKEY_REQUIRE(key_alice.size() == cfg_.key_bits, "key width mismatch");
+  VKEY_REQUIRE(y_bob.size() == cfg_.code_dim, "syndrome width mismatch");
+  const nn::Dense& alice_encoder = cfg_.tie_encoders ? f1_ : f2_;
+
+  // Greedy decoding. The syndrome travels as data (not over a noisy analog
+  // channel), so h = y_Bob - f(K'_work) vanishes exactly when the working
+  // key matches Bob's. Each pass the decoder MLP scores candidate mismatch
+  // positions; Alice — who holds the public encoder — verifies the
+  // shortlisted flips algebraically (with a tied linear encoder a flip of
+  // bit i changes h by -(1-2w_i) * W_col_i, so the post-flip residual costs
+  // two dot products) and commits the flip that shrinks ||h|| the most.
+  // A pass that cannot shrink the residual terminates the loop, so a wrong
+  // greedy step can always be undone but never loops forever.
+  const nn::Vec& w_flat = alice_encoder.weights().value;  // code_dim x key_bits
+  BitVec work = bloom_.apply(key_alice);
+  BitVec delta(cfg_.key_bits);
+  std::size_t iters = 0;
+  constexpr std::size_t kShortlist = 16;
+
+  // Current residual h (maintained incrementally after the first pass).
+  nn::Vec h(cfg_.code_dim);
+  {
+    const nn::Vec ya = alice_encoder.infer(work.to_doubles());
+    for (std::size_t i = 0; i < h.size(); ++i) h[i] = y_bob[i] - ya[i];
+  }
+  double h_norm2 = 0.0;
+  for (double v : h) h_norm2 += v * v;
+  const double initial_norm2 = h_norm2;
+  BitVec best_delta = delta;
+  double best_norm2 = h_norm2;
+
+  while (iters < cfg_.max_decode_iterations && h_norm2 > 1e-9) {
+    ++iters;
+    nn::Vec x = h;
+    for (const auto& layer : decoder_) x = layer.infer(x);
+
+    // Shortlist the decoder's top-scored positions.
+    std::vector<std::size_t> order(cfg_.key_bits);
+    std::iota(order.begin(), order.end(), 0);
+    const std::size_t take = std::min(kShortlist, order.size());
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(take),
+                      order.end(),
+                      [&x](std::size_t a, std::size_t b) { return x[a] > x[b]; });
+
+    // Verify candidates: pick the flip that shrinks ||h|| the most.
+    std::size_t best_pos = cfg_.key_bits;
+    double pick_norm2 = h_norm2 - 1e-12;
+    double best_sign = 0.0;
+    for (std::size_t c = 0; c < take; ++c) {
+      const std::size_t i = order[c];
+      // Flipping work_i changes the encoder input by (1 - 2 w_i), so
+      // h' = h - (1 - 2 w_i) * W_col_i.
+      const double s = work.get(i) ? -1.0 : 1.0;
+      double dot_hw = 0.0, w_norm2 = 0.0;
+      for (std::size_t r = 0; r < cfg_.code_dim; ++r) {
+        const double wv = w_flat[r * cfg_.key_bits + i];
+        dot_hw += h[r] * wv;
+        w_norm2 += wv * wv;
+      }
+      const double cand_norm2 = h_norm2 - 2.0 * s * dot_hw + w_norm2;
+      if (cand_norm2 < pick_norm2) {
+        pick_norm2 = cand_norm2;
+        best_pos = i;
+        best_sign = s;
+      }
+    }
+    if (best_pos == cfg_.key_bits) break;  // no flip improves the residual
+
+    for (std::size_t r = 0; r < cfg_.code_dim; ++r) {
+      h[r] -= best_sign * w_flat[r * cfg_.key_bits + best_pos];
+    }
+    h_norm2 = pick_norm2;
+    work.flip(best_pos);
+    delta.flip(best_pos);
+    // Track the best state reached (used if we fail to fully converge).
+    if (h_norm2 < best_norm2) {
+      best_norm2 = h_norm2;
+      best_delta = delta;
+    }
+  }
+
+  // Convergence gate: a mismatch inside the design radius drives the
+  // residual to (near) zero — the syndrome is exact. If the residual never
+  // collapsed, the mismatch was denser than the code can localize (e.g. an
+  // eavesdropper misusing the public decoder with uncorrelated key
+  // material): report reconciliation failure by applying no correction.
+  if (best_norm2 > 0.25 * initial_norm2) {
+    return DecodeResult{BitVec(cfg_.key_bits), iters};
+  }
+  return DecodeResult{bloom_.map_mismatch_back(best_delta), iters};
+}
+
+BitVec AutoencoderReconciler::reconcile(const BitVec& key_alice,
+                                        std::span<const double> y_bob) const {
+  return key_alice ^ decode_mismatch(key_alice, y_bob).mismatch;
+}
+
+BitVec AutoencoderReconciler::reconcile_one_shot(
+    const BitVec& key_alice, std::span<const double> y_bob) const {
+  VKEY_REQUIRE(key_alice.size() == cfg_.key_bits, "key width mismatch");
+  VKEY_REQUIRE(y_bob.size() == cfg_.code_dim, "syndrome width mismatch");
+  const nn::Dense& alice_encoder = cfg_.tie_encoders ? f1_ : f2_;
+  const nn::Vec ya =
+      alice_encoder.infer(bloom_.apply(key_alice).to_doubles());
+  nn::Vec h(cfg_.code_dim);
+  for (std::size_t i = 0; i < h.size(); ++i) h[i] = y_bob[i] - ya[i];
+  nn::Vec x = h;
+  for (const auto& layer : decoder_) x = layer.infer(x);
+  BitVec delta(cfg_.key_bits);
+  for (std::size_t i = 0; i < cfg_.key_bits; ++i) delta.set(i, x[i] > 0.0);
+  return key_alice ^ bloom_.map_mismatch_back(delta);
+}
+
+std::size_t AutoencoderReconciler::decode_flops() const {
+  // Alice: f2 (N x M) + decoder stack.
+  std::size_t flops = cfg_.key_bits * cfg_.code_dim;
+  std::size_t in = cfg_.code_dim;
+  for (std::size_t l = 0; l < cfg_.decoder_layers; ++l) {
+    flops += in * cfg_.decoder_units;
+    in = cfg_.decoder_units;
+  }
+  flops += in * cfg_.key_bits;
+  return flops;
+}
+
+std::size_t AutoencoderReconciler::encode_flops() const {
+  return cfg_.key_bits * cfg_.code_dim;
+}
+
+}  // namespace vkey::core

@@ -1,0 +1,40 @@
+// AES-128 (FIPS 197) block cipher with CTR mode, implemented from scratch.
+//
+// The final Vehicle-Key session key drives AES-128 for payload protection
+// (paper Sec. IV-C: "the final keys can be used by symmetric key encryption
+// algorithms such as AES-128"). CTR mode is provided because IoV payloads are
+// short and variable-length. This is a straightforward table-free
+// implementation (computed S-box, xtime multiplication); fine for simulation
+// use, not hardened against cache side channels.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace vkey::crypto {
+
+class Aes128 {
+ public:
+  static constexpr std::size_t kKeySize = 16;
+  static constexpr std::size_t kBlockSize = 16;
+
+  /// Expand the 128-bit key.
+  explicit Aes128(const std::array<std::uint8_t, kKeySize>& key);
+
+  /// Encrypt / decrypt one 16-byte block in place.
+  void encrypt_block(std::uint8_t block[kBlockSize]) const;
+  void decrypt_block(std::uint8_t block[kBlockSize]) const;
+
+  /// CTR-mode keystream XOR: encryption and decryption are the same
+  /// operation. `nonce` forms the upper 8 bytes of the counter block; the
+  /// lower 8 bytes count blocks starting from 0.
+  std::vector<std::uint8_t> ctr_crypt(const std::vector<std::uint8_t>& data,
+                                      std::uint64_t nonce) const;
+
+ private:
+  // 11 round keys of 16 bytes each.
+  std::array<std::uint8_t, 176> round_keys_{};
+};
+
+}  // namespace vkey::crypto

@@ -1,0 +1,52 @@
+#include "crypto/hkdf.h"
+
+#include "common/error.h"
+#include "crypto/hmac.h"
+
+namespace vkey::crypto {
+
+std::vector<std::uint8_t> hkdf_extract(const std::vector<std::uint8_t>& salt,
+                                       const std::vector<std::uint8_t>& ikm) {
+  const std::vector<std::uint8_t> effective_salt =
+      salt.empty() ? std::vector<std::uint8_t>(Sha256::kDigestSize, 0) : salt;
+  const auto prk = hmac_sha256(effective_salt, ikm);
+  return {prk.begin(), prk.end()};
+}
+
+std::vector<std::uint8_t> hkdf_expand(const std::vector<std::uint8_t>& prk,
+                                      const std::vector<std::uint8_t>& info,
+                                      std::size_t length) {
+  VKEY_REQUIRE(prk.size() >= Sha256::kDigestSize,
+               "PRK must be at least one hash block");
+  VKEY_REQUIRE(length >= 1 && length <= 255 * Sha256::kDigestSize,
+               "HKDF output length out of range");
+  std::vector<std::uint8_t> okm;
+  std::vector<std::uint8_t> t;
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    std::vector<std::uint8_t> block = t;
+    block.insert(block.end(), info.begin(), info.end());
+    block.push_back(counter++);
+    const auto digest = hmac_sha256(prk, block);
+    t.assign(digest.begin(), digest.end());
+    okm.insert(okm.end(), t.begin(), t.end());
+  }
+  okm.resize(length);
+  return okm;
+}
+
+std::vector<std::uint8_t> hkdf(const std::vector<std::uint8_t>& salt,
+                               const std::vector<std::uint8_t>& ikm,
+                               const std::vector<std::uint8_t>& info,
+                               std::size_t length) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+}
+
+std::vector<std::uint8_t> derive_subkey(
+    const std::vector<std::uint8_t>& session_secret, const std::string& label,
+    std::size_t length) {
+  const std::vector<std::uint8_t> info(label.begin(), label.end());
+  return hkdf({}, session_secret, info, length);
+}
+
+}  // namespace vkey::crypto

@@ -1,0 +1,38 @@
+// HKDF (RFC 5869) — HMAC-based key derivation.
+//
+// The privacy-amplified session key is a single 128-bit secret; protecting
+// traffic needs *independent* keys for encryption and authentication (and,
+// with group keys, per-purpose subkeys). HKDF's extract-then-expand
+// construction derives any number of cryptographically separated subkeys
+// from the session secret with domain-separating info labels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vkey::crypto {
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm). An empty salt is replaced by a
+/// zero-filled hash-length block per the RFC.
+std::vector<std::uint8_t> hkdf_extract(const std::vector<std::uint8_t>& salt,
+                                       const std::vector<std::uint8_t>& ikm);
+
+/// HKDF-Expand: derive `length` bytes (<= 255 * 32) from a pseudorandom key
+/// with the given context/label.
+std::vector<std::uint8_t> hkdf_expand(const std::vector<std::uint8_t>& prk,
+                                      const std::vector<std::uint8_t>& info,
+                                      std::size_t length);
+
+/// One-shot extract+expand.
+std::vector<std::uint8_t> hkdf(const std::vector<std::uint8_t>& salt,
+                               const std::vector<std::uint8_t>& ikm,
+                               const std::vector<std::uint8_t>& info,
+                               std::size_t length);
+
+/// Convenience: derive a subkey from a session secret with a string label.
+std::vector<std::uint8_t> derive_subkey(
+    const std::vector<std::uint8_t>& session_secret, const std::string& label,
+    std::size_t length);
+
+}  // namespace vkey::crypto

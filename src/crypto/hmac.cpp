@@ -1,0 +1,43 @@
+#include "crypto/hmac.h"
+
+namespace vkey::crypto {
+
+std::array<std::uint8_t, Sha256::kDigestSize> hmac_sha256(
+    const std::vector<std::uint8_t>& key,
+    const std::vector<std::uint8_t>& message) {
+  constexpr std::size_t kBlockSize = 64;
+
+  // Keys longer than the block size are hashed first.
+  std::vector<std::uint8_t> k = key;
+  if (k.size() > kBlockSize) {
+    const auto d = Sha256::digest(k);
+    k.assign(d.begin(), d.end());
+  }
+  k.resize(kBlockSize, 0x00);
+
+  std::vector<std::uint8_t> ipad(kBlockSize), opad(kBlockSize);
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  const auto inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest.data(), inner_digest.size());
+  return outer.finalize();
+}
+
+bool constant_time_equal(const std::vector<std::uint8_t>& a,
+                         const std::vector<std::uint8_t>& b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace vkey::crypto

@@ -1,0 +1,25 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+//
+// The reconciliation exchange appends MAC(K'_Bob, y_Bob) so Alice can detect
+// man-in-the-middle modification (paper Sec. IV-C). Also provides the
+// constant-time tag comparison used at verification.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace vkey::crypto {
+
+/// Compute HMAC-SHA256 over `message` with `key`.
+std::array<std::uint8_t, Sha256::kDigestSize> hmac_sha256(
+    const std::vector<std::uint8_t>& key,
+    const std::vector<std::uint8_t>& message);
+
+/// Constant-time equality of two byte strings (length leak only).
+bool constant_time_equal(const std::vector<std::uint8_t>& a,
+                         const std::vector<std::uint8_t>& b);
+
+}  // namespace vkey::crypto

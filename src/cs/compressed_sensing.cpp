@@ -1,0 +1,109 @@
+#include "cs/compressed_sensing.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vkey::cs {
+
+Matrix make_sensing_matrix(std::size_t m, std::size_t n, std::uint64_t seed) {
+  VKEY_REQUIRE(m >= 1 && n >= 1, "sensing matrix dims must be positive");
+  vkey::Rng rng(seed);
+  Matrix phi(m, n);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(m));
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      phi(r, c) = rng.bernoulli(0.5) ? scale : -scale;
+    }
+  }
+  return phi;
+}
+
+OmpResult omp(const Matrix& phi, const std::vector<double>& y,
+              std::size_t max_sparsity, double tolerance) {
+  VKEY_REQUIRE(y.size() == phi.rows(), "omp measurement size mismatch");
+  VKEY_REQUIRE(max_sparsity >= 1, "omp needs max_sparsity >= 1");
+  const std::size_t m = phi.rows();
+  const std::size_t n = phi.cols();
+  max_sparsity = std::min(max_sparsity, m);
+
+  std::vector<double> residual = y;
+  std::vector<std::size_t> support;
+  std::vector<double> coeffs;
+  std::size_t iterations = 0;
+
+  while (support.size() < max_sparsity && norm2(residual) > tolerance) {
+    ++iterations;
+    // Select the column most correlated with the residual.
+    std::size_t best = n;  // sentinel
+    double best_corr = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      bool used = false;
+      for (std::size_t s : support) {
+        if (s == c) {
+          used = true;
+          break;
+        }
+      }
+      if (used) continue;
+      double corr = 0.0;
+      for (std::size_t r = 0; r < m; ++r) corr += phi(r, c) * residual[r];
+      if (std::fabs(corr) > std::fabs(best_corr)) {
+        best_corr = corr;
+        best = c;
+      }
+    }
+    if (best == n || best_corr == 0.0) break;
+    support.push_back(best);
+
+    // Least squares on the current support.
+    Matrix sub(m, support.size());
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t j = 0; j < support.size(); ++j) {
+        sub(r, j) = phi(r, support[j]);
+      }
+    }
+    coeffs = Matrix::least_squares(sub, y);
+
+    // Update residual.
+    const std::vector<double> approx = sub.mul_vec(coeffs);
+    for (std::size_t r = 0; r < m; ++r) residual[r] = y[r] - approx[r];
+  }
+
+  OmpResult out;
+  out.x.assign(n, 0.0);
+  for (std::size_t j = 0; j < support.size(); ++j) {
+    out.x[support[j]] = coeffs[j];
+  }
+  out.iterations = iterations;
+  out.residual_norm = norm2(residual);
+  return out;
+}
+
+std::vector<double> cs_syndrome(const Matrix& phi, const BitVec& key) {
+  VKEY_REQUIRE(key.size() == phi.cols(), "cs_syndrome key size mismatch");
+  return phi.mul_vec(key.to_doubles());
+}
+
+CsReconcileResult cs_reconcile(const Matrix& phi, const BitVec& key_alice,
+                               const std::vector<double>& syndrome_bob,
+                               std::size_t max_mismatches) {
+  VKEY_REQUIRE(key_alice.size() == phi.cols(),
+               "cs_reconcile key size mismatch");
+  const std::vector<double> s_alice = phi.mul_vec(key_alice.to_doubles());
+  std::vector<double> delta(s_alice.size());
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    delta[i] = syndrome_bob[i] - s_alice[i];
+  }
+  // delta = Phi * d with d = K_B - K_A sparse in {-1, 0, +1}.
+  const OmpResult r = omp(phi, delta, max_mismatches);
+
+  CsReconcileResult out{key_alice, r.iterations};
+  for (std::size_t i = 0; i < r.x.size(); ++i) {
+    // d = +1 means Bob has 1 where Alice has 0; d = -1 the opposite.
+    if (std::fabs(r.x[i]) > 0.5) out.corrected.flip(i);
+  }
+  return out;
+}
+
+}  // namespace vkey::cs

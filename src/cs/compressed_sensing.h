@@ -1,0 +1,53 @@
+// Compressed-sensing reconciliation substrate.
+//
+// LoRa-Key (Xu et al.) and Gao et al. reconcile keys by exploiting the
+// sparsity of the mismatch vector: Bob publishes s_B = Phi * K_B for a
+// public random sensing matrix Phi (paper configuration: 20 x 64); Alice
+// forms delta = s_B - Phi*K_A = Phi * d where d = K_B - K_A in {-1,0,1}^N is
+// sparse, and recovers d with a greedy sparse solver. We implement
+// Orthogonal Matching Pursuit with iteration accounting — the iteration /
+// flop count is the "computation cost" axis against which the paper's
+// autoencoder claims its ~10x advantage (Fig. 11).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace vkey::cs {
+
+/// Random sensing matrix with +-1/sqrt(M) entries (Bernoulli ensemble,
+/// standard RIP-satisfying choice), M rows x N columns.
+Matrix make_sensing_matrix(std::size_t m, std::size_t n, std::uint64_t seed);
+
+struct OmpResult {
+  std::vector<double> x;    ///< recovered sparse vector, length N
+  std::size_t iterations;   ///< greedy iterations performed
+  double residual_norm;     ///< final ||y - Phi x||
+};
+
+/// Orthogonal Matching Pursuit: solve y ~= Phi * x with at most
+/// `max_sparsity` nonzeros, stopping early when the residual drops below
+/// `tolerance`.
+OmpResult omp(const Matrix& phi, const std::vector<double>& y,
+              std::size_t max_sparsity, double tolerance = 1e-6);
+
+/// One full CS reconciliation step from Alice's perspective:
+/// given Phi, Alice's key and Bob's published syndrome s_B = Phi * K_B,
+/// recover Bob's key estimate. Returns the corrected key and the OMP
+/// iteration count (cost accounting).
+struct CsReconcileResult {
+  BitVec corrected;        ///< Alice's key after applying recovered flips
+  std::size_t iterations;
+};
+CsReconcileResult cs_reconcile(const Matrix& phi, const BitVec& key_alice,
+                               const std::vector<double>& syndrome_bob,
+                               std::size_t max_mismatches);
+
+/// Bob's side: compute the syndrome to publish.
+std::vector<double> cs_syndrome(const Matrix& phi, const BitVec& key);
+
+}  // namespace vkey::cs

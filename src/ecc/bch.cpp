@@ -1,0 +1,219 @@
+#include "ecc/bch.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+
+namespace vkey::ecc {
+
+namespace {
+
+/// Minimal polynomial of alpha^i over GF(2): product of (x - alpha^j) over
+/// the cyclotomic coset of i.
+std::vector<std::uint8_t> minimal_polynomial(const GaloisField& gf, int i) {
+  // Collect the coset {i, 2i, 4i, ...} mod (2^m - 1).
+  std::set<int> coset;
+  int cur = i % gf.order();
+  while (coset.insert(cur).second) {
+    cur = (2 * cur) % gf.order();
+  }
+  // Multiply out prod (x + alpha^j) with coefficients in GF(2^m); the
+  // result has GF(2) coefficients by conjugacy.
+  std::vector<int> poly{1};  // constant polynomial 1, coefficients in field
+  for (int j : coset) {
+    const int root = gf.exp(j);
+    std::vector<int> next(poly.size() + 1, 0);
+    for (std::size_t d = 0; d < poly.size(); ++d) {
+      next[d + 1] ^= poly[d];                 // x * poly
+      next[d] ^= gf.mul(poly[d], root);       // alpha^j * poly
+    }
+    poly = std::move(next);
+  }
+  std::vector<std::uint8_t> out(poly.size());
+  for (std::size_t d = 0; d < poly.size(); ++d) {
+    VKEY_REQUIRE(poly[d] == 0 || poly[d] == 1,
+                 "minimal polynomial is not binary");
+    out[d] = static_cast<std::uint8_t>(poly[d]);
+  }
+  return out;
+}
+
+}  // namespace
+
+BchCode::BchCode(int m, int t) : gf_(m), n_((1 << m) - 1), t_(t) {
+  VKEY_REQUIRE(t >= 1, "t must be >= 1");
+  // Generator = LCM of minimal polynomials of alpha^1 .. alpha^{2t}.
+  // Track covered exponents to take the LCM without polynomial GCDs.
+  std::set<int> covered;
+  generator_ = {1};
+  for (int i = 1; i <= 2 * t; ++i) {
+    if (covered.count(i % gf_.order())) continue;
+    // Mark the whole coset as covered.
+    int cur = i % gf_.order();
+    while (covered.insert(cur).second) cur = (2 * cur) % gf_.order();
+    generator_ = gf2poly::multiply(generator_, minimal_polynomial(gf_, i));
+  }
+  const int deg = gf2poly::degree(generator_);
+  k_ = n_ - deg;
+  VKEY_REQUIRE(k_ > 0, "t too large for this field: no information bits");
+}
+
+BitVec BchCode::parity(const BitVec& info) const {
+  VKEY_REQUIRE(static_cast<int>(info.size()) == k_,
+               "BCH info width mismatch");
+  // Systematic encoding: parity = (info(x) * x^{n-k}) mod g(x).
+  const int pbits = n_ - k_;
+  std::vector<std::uint8_t> poly(static_cast<std::size_t>(n_), 0);
+  for (int i = 0; i < k_; ++i) {
+    poly[static_cast<std::size_t>(pbits + i)] = info.get(static_cast<std::size_t>(i));
+  }
+  const auto rem = gf2poly::mod(std::move(poly), generator_);
+  BitVec out(static_cast<std::size_t>(pbits));
+  for (int i = 0; i < pbits; ++i) {
+    if (static_cast<std::size_t>(i) < rem.size() && rem[static_cast<std::size_t>(i)]) {
+      out.set(static_cast<std::size_t>(i), true);
+    }
+  }
+  return out;
+}
+
+BitVec BchCode::encode(const BitVec& info) const {
+  BitVec cw = info;
+  cw.append(parity(info));
+  return cw;
+}
+
+BitVec BchCode::info_of(const BitVec& codeword) const {
+  VKEY_REQUIRE(static_cast<int>(codeword.size()) == n_,
+               "BCH codeword width mismatch");
+  return codeword.slice(0, static_cast<std::size_t>(k_));
+}
+
+std::optional<BchCode::DecodeResult> BchCode::decode(
+    const BitVec& received) const {
+  VKEY_REQUIRE(static_cast<int>(received.size()) == n_,
+               "BCH codeword width mismatch");
+
+  // The polynomial view must match the systematic encoder's layout:
+  // info bit j is the coefficient of x^{(n-k)+j}; parity bit j (codeword
+  // index >= k) is the coefficient of x^{j-k}.
+  const int pbits = n_ - k_;
+  auto bit_power = [this, pbits](std::size_t j) {
+    const int ji = static_cast<int>(j);
+    return ji < k_ ? pbits + ji : ji - k_;
+  };
+  auto power_bit = [this, pbits](int p) {
+    return static_cast<std::size_t>(p >= pbits ? p - pbits : k_ + p);
+  };
+
+  // Syndromes S_i = r(alpha^i), i = 1..2t.
+  std::vector<int> syndrome(static_cast<std::size_t>(2 * t_ + 1), 0);
+  bool all_zero = true;
+  for (int i = 1; i <= 2 * t_; ++i) {
+    int s = 0;
+    for (std::size_t j = 0; j < received.size(); ++j) {
+      if (received.get(j)) {
+        s ^= gf_.exp(bit_power(j) * i);
+      }
+    }
+    syndrome[static_cast<std::size_t>(i)] = s;
+    if (s != 0) all_zero = false;
+  }
+  if (all_zero) return DecodeResult{received, 0};
+
+  // Berlekamp-Massey over GF(2^m): error-locator polynomial sigma.
+  std::vector<int> sigma{1};    // current locator
+  std::vector<int> prev{1};     // B(x)
+  int l = 0;
+  int shift = 1;
+  int prev_discrepancy = 1;
+  for (int i = 1; i <= 2 * t_; ++i) {
+    // Discrepancy d = S_i + sum sigma_j * S_{i-j}.
+    int d = syndrome[static_cast<std::size_t>(i)];
+    for (int j = 1; j <= l && j < static_cast<int>(sigma.size()); ++j) {
+      d ^= gf_.mul(sigma[static_cast<std::size_t>(j)],
+                   syndrome[static_cast<std::size_t>(i - j)]);
+    }
+    if (d == 0) {
+      ++shift;
+      continue;
+    }
+    const std::vector<int> sigma_save = sigma;
+    // sigma' = sigma - (d / prev_d) x^shift * prev.
+    const int coef = gf_.mul(d, gf_.inv(prev_discrepancy));
+    const std::size_t need = prev.size() + static_cast<std::size_t>(shift);
+    if (sigma.size() < need) sigma.resize(need, 0);
+    for (std::size_t j = 0; j < prev.size(); ++j) {
+      sigma[j + static_cast<std::size_t>(shift)] ^= gf_.mul(coef, prev[j]);
+    }
+    if (2 * l <= i - 1) {
+      l = i - l;
+      prev = sigma_save;
+      prev_discrepancy = d;
+      shift = 1;
+    } else {
+      ++shift;
+    }
+  }
+  if (l > t_) return std::nullopt;  // beyond design distance
+
+  // Chien search: roots of sigma give error positions.
+  BitVec corrected = received;
+  std::size_t errors = 0;
+  for (int p = 0; p < n_; ++p) {
+    // Evaluate sigma at alpha^{-p}; a root means an error at power p.
+    int val = 0;
+    for (std::size_t j = 0; j < sigma.size(); ++j) {
+      if (sigma[j] == 0) continue;
+      val ^= gf_.mul(sigma[j],
+                     gf_.exp((gf_.order() - p) * static_cast<int>(j)));
+    }
+    if (val == 0) {
+      corrected.flip(power_bit(p));
+      ++errors;
+    }
+  }
+  if (static_cast<int>(errors) != l) return std::nullopt;  // locator lied
+
+  // Verify: all syndromes of the corrected word vanish.
+  for (int i = 1; i <= 2 * t_; ++i) {
+    int s = 0;
+    for (std::size_t j = 0; j < corrected.size(); ++j) {
+      if (corrected.get(j)) s ^= gf_.exp(bit_power(j) * i);
+    }
+    if (s != 0) return std::nullopt;
+  }
+  return DecodeResult{std::move(corrected), errors};
+}
+
+BchReconciler::BchReconciler(int m, int t, std::size_t key_bits)
+    : code_(m, t), key_bits_(key_bits) {
+  VKEY_REQUIRE(key_bits >= 1 &&
+                   static_cast<int>(key_bits) <= code_.k(),
+               "key does not fit the code's information bits");
+}
+
+BitVec BchReconciler::pad(const BitVec& key) const {
+  VKEY_REQUIRE(key.size() == key_bits_, "key width mismatch");
+  BitVec info = key;
+  while (static_cast<int>(info.size()) < code_.k()) info.push_back(false);
+  return info;
+}
+
+BitVec BchReconciler::helper_data(const BitVec& key_bob) const {
+  return code_.parity(pad(key_bob));
+}
+
+std::optional<BitVec> BchReconciler::reconcile(const BitVec& key_alice,
+                                               const BitVec& helper) const {
+  VKEY_REQUIRE(static_cast<int>(helper.size()) == code_.parity_bits(),
+               "helper width mismatch");
+  BitVec word = pad(key_alice);
+  word.append(helper);
+  const auto decoded = code_.decode(word);
+  if (!decoded.has_value()) return std::nullopt;
+  return code_.info_of(decoded->codeword).slice(0, key_bits_);
+}
+
+}  // namespace vkey::ecc

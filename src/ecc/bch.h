@@ -1,0 +1,88 @@
+// Binary BCH code with syndrome decoding.
+//
+// BCH(n = 2^m - 1, k, t): the generator polynomial is the least common
+// multiple of the minimal polynomials of alpha^1 .. alpha^{2t}; decoding is
+// the classic chain syndromes -> Berlekamp-Massey error locator -> Chien
+// search. Used here as the code-offset ("fuzzy extractor") reconciliation
+// baseline: Bob publishes the parity of his key, Alice decodes
+// (K_Alice | parity_Bob) and the corrected information bits equal K_Bob
+// whenever d_H(K_Alice, K_Bob) <= t.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "ecc/gf.h"
+
+namespace vkey::ecc {
+
+class BchCode {
+ public:
+  /// Construct BCH over GF(2^m) correcting up to `t` errors.
+  BchCode(int m, int t);
+
+  int n() const { return n_; }          ///< codeword length, 2^m - 1
+  int k() const { return k_; }          ///< information bits
+  int t() const { return t_; }          ///< designed correction capability
+  int parity_bits() const { return n_ - k_; }
+
+  /// Systematic encoding: returns the (n-k) parity bits of `info`
+  /// (info.size() must equal k()).
+  BitVec parity(const BitVec& info) const;
+
+  /// Full systematic codeword: info || parity.
+  BitVec encode(const BitVec& info) const;
+
+  struct DecodeResult {
+    BitVec codeword;        ///< corrected codeword (info || parity)
+    std::size_t errors;     ///< number of positions flipped
+  };
+
+  /// Decode an n-bit word; nullopt if the error pattern exceeds the
+  /// correction capability (decoder failure).
+  std::optional<DecodeResult> decode(const BitVec& received) const;
+
+  /// Information part of a codeword.
+  BitVec info_of(const BitVec& codeword) const;
+
+ private:
+  GaloisField gf_;
+  int n_;
+  int k_;
+  int t_;
+  std::vector<std::uint8_t> generator_;  // GF(2) polynomial, LSB-first
+};
+
+/// Code-offset reconciliation built on a BCH code.
+///
+/// Bob publishes parity(K_Bob) — a leak of (n - k) bits, discounted by
+/// privacy amplification. Alice decodes (K_Alice || parity_Bob); if at most
+/// t positions differ, the corrected information bits equal K_Bob. Keys
+/// shorter than k are zero-padded (padding positions are error-free, so
+/// the full t budget protects the key bits).
+class BchReconciler {
+ public:
+  /// `key_bits` <= k of the constructed code.
+  BchReconciler(int m, int t, std::size_t key_bits);
+
+  std::size_t key_bits() const { return key_bits_; }
+  const BchCode& code() const { return code_; }
+
+  /// Bob's side: the public helper data.
+  BitVec helper_data(const BitVec& key_bob) const;
+
+  /// Alice's side: returns her corrected key, or nullopt on decoder failure
+  /// (mismatch beyond t — the session should abort/retry).
+  std::optional<BitVec> reconcile(const BitVec& key_alice,
+                                  const BitVec& helper) const;
+
+ private:
+  BitVec pad(const BitVec& key) const;
+
+  BchCode code_;
+  std::size_t key_bits_;
+};
+
+}  // namespace vkey::ecc

@@ -1,0 +1,112 @@
+#include "ecc/gf.h"
+
+#include "common/error.h"
+
+namespace vkey::ecc {
+
+namespace {
+// Primitive polynomials over GF(2), one per m (coefficient bitmask,
+// bit i = coefficient of x^i). Standard choices from coding-theory tables.
+constexpr int kPrimitive[] = {
+    0,      0,     0,
+    0b1011,          // m=3:  x^3 + x + 1
+    0b10011,         // m=4:  x^4 + x + 1
+    0b100101,        // m=5:  x^5 + x^2 + 1
+    0b1000011,       // m=6:  x^6 + x + 1
+    0b10001001,      // m=7:  x^7 + x^3 + 1
+    0b100011101,     // m=8:  x^8 + x^4 + x^3 + x^2 + 1
+    0b1000010001,    // m=9:  x^9 + x^4 + 1
+    0b10000001001,   // m=10: x^10 + x^3 + 1
+    0b100000000101,  // m=11: x^11 + x^2 + 1
+    0b1000001010011  // m=12: x^12 + x^6 + x^4 + x + 1
+};
+}  // namespace
+
+GaloisField::GaloisField(int m) : m_(m), n_((1 << m) - 1) {
+  VKEY_REQUIRE(m >= 3 && m <= 12, "GF(2^m) supported for m in [3,12]");
+  exp_.assign(static_cast<std::size_t>(2 * n_), 0);
+  log_.assign(static_cast<std::size_t>(n_ + 1), 0);
+  const int prim = kPrimitive[m];
+  int x = 1;
+  for (int i = 0; i < n_; ++i) {
+    exp_[static_cast<std::size_t>(i)] = x;
+    log_[static_cast<std::size_t>(x)] = i;
+    x <<= 1;
+    if (x & (1 << m)) x ^= prim;
+  }
+  // Duplicate for mod-free exponent addition.
+  for (int i = 0; i < n_; ++i) {
+    exp_[static_cast<std::size_t>(n_ + i)] = exp_[static_cast<std::size_t>(i)];
+  }
+}
+
+int GaloisField::exp(int i) const {
+  int r = i % n_;
+  if (r < 0) r += n_;
+  return exp_[static_cast<std::size_t>(r)];
+}
+
+int GaloisField::log(int x) const {
+  VKEY_REQUIRE(x > 0 && x <= n_, "log of zero or out-of-field element");
+  return log_[static_cast<std::size_t>(x)];
+}
+
+int GaloisField::mul(int a, int b) const {
+  if (a == 0 || b == 0) return 0;
+  return exp_[static_cast<std::size_t>(log(a) + log(b))];
+}
+
+int GaloisField::inv(int x) const {
+  VKEY_REQUIRE(x != 0, "inverse of zero");
+  return exp(n_ - log(x));
+}
+
+int GaloisField::pow(int x, int p) const {
+  VKEY_REQUIRE(p >= 0, "negative exponent");
+  if (x == 0) return p == 0 ? 1 : 0;
+  return exp((log(x) * (p % n_)) % n_);
+}
+
+namespace gf2poly {
+
+int degree(const std::vector<std::uint8_t>& p) {
+  for (std::size_t i = p.size(); i-- > 0;) {
+    if (p[i]) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::uint8_t> multiply(const std::vector<std::uint8_t>& a,
+                                   const std::vector<std::uint8_t>& b) {
+  const int da = degree(a);
+  const int db = degree(b);
+  if (da < 0 || db < 0) return {0};
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(da + db + 1), 0);
+  for (int i = 0; i <= da; ++i) {
+    if (!a[static_cast<std::size_t>(i)]) continue;
+    for (int j = 0; j <= db; ++j) {
+      out[static_cast<std::size_t>(i + j)] ^= b[static_cast<std::size_t>(j)];
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> mod(std::vector<std::uint8_t> a,
+                              const std::vector<std::uint8_t>& b) {
+  const int db = degree(b);
+  VKEY_REQUIRE(db >= 0, "mod by zero polynomial");
+  int da = degree(a);
+  while (da >= db) {
+    const int shift = da - db;
+    for (int j = 0; j <= db; ++j) {
+      a[static_cast<std::size_t>(j + shift)] ^= b[static_cast<std::size_t>(j)];
+    }
+    da = degree(a);
+  }
+  a.resize(static_cast<std::size_t>(db > 0 ? db : 1), 0);
+  return a;
+}
+
+}  // namespace gf2poly
+
+}  // namespace vkey::ecc

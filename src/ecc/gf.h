@@ -1,0 +1,64 @@
+// Galois field GF(2^m) arithmetic (table-based).
+//
+// Substrate for the BCH error-correcting code used by the code-offset
+// reconciliation baseline (the "error-correction code" family of
+// reconciliation methods the paper cites as [22]). Elements are represented
+// as integers in [0, 2^m); addition is XOR; multiplication goes through
+// exp/log tables built from a primitive polynomial.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vkey::ecc {
+
+class GaloisField {
+ public:
+  /// Build GF(2^m) for m in [3, 12] using a standard primitive polynomial.
+  explicit GaloisField(int m);
+
+  int m() const { return m_; }
+  /// Field size minus one: the multiplicative-group order, 2^m - 1.
+  int order() const { return n_; }
+
+  /// alpha^i for i taken mod (2^m - 1).
+  int exp(int i) const;
+
+  /// Discrete log base alpha; x must be nonzero.
+  int log(int x) const;
+
+  int add(int a, int b) const { return a ^ b; }
+
+  int mul(int a, int b) const;
+
+  /// Multiplicative inverse; x must be nonzero.
+  int inv(int x) const;
+
+  /// x^p with x in the field, p any non-negative integer.
+  int pow(int x, int p) const;
+
+ private:
+  int m_;
+  int n_;  // 2^m - 1
+  std::vector<int> exp_;
+  std::vector<int> log_;
+};
+
+/// Polynomials over GF(2) packed LSB-first into a vector<uint8_t> of 0/1
+/// coefficients (index = degree). Helpers for generator construction.
+namespace gf2poly {
+
+/// Degree of p (-1 for the zero polynomial).
+int degree(const std::vector<std::uint8_t>& p);
+
+/// Product of two GF(2) polynomials.
+std::vector<std::uint8_t> multiply(const std::vector<std::uint8_t>& a,
+                                   const std::vector<std::uint8_t>& b);
+
+/// Remainder of a mod b (b nonzero).
+std::vector<std::uint8_t> mod(std::vector<std::uint8_t> a,
+                              const std::vector<std::uint8_t>& b);
+
+}  // namespace gf2poly
+
+}  // namespace vkey::ecc

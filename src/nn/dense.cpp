@@ -1,0 +1,91 @@
+#include "nn/dense.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "nn/activations.h"
+
+namespace vkey::nn {
+
+Dense::Dense(std::size_t in, std::size_t out, vkey::Rng& rng, Activation act)
+    : in_(in), out_(out), act_(act), w_(in * out), b_(out) {
+  VKEY_REQUIRE(in > 0 && out > 0, "Dense sizes must be positive");
+  const double bound = std::sqrt(6.0 / static_cast<double>(in + out));
+  for (auto& v : w_.value) v = rng.uniform(-bound, bound);
+}
+
+Vec Dense::affine(const Vec& x) const {
+  VKEY_REQUIRE(x.size() == in_, "Dense input size mismatch");
+  Vec z(out_);
+  for (std::size_t o = 0; o < out_; ++o) {
+    double s = b_.value[o];
+    const double* wrow = &w_.value[o * in_];
+    for (std::size_t i = 0; i < in_; ++i) s += wrow[i] * x[i];
+    z[o] = s;
+  }
+  return z;
+}
+
+Vec Dense::activate(const Vec& z) const {
+  switch (act_) {
+    case Activation::kNone:
+      return z;
+    case Activation::kSigmoid:
+      return sigmoid_vec(z);
+    case Activation::kTanh:
+      return tanh_vec(z);
+    case Activation::kRelu: {
+      Vec y(z.size());
+      for (std::size_t i = 0; i < z.size(); ++i) y[i] = z[i] > 0 ? z[i] : 0.0;
+      return y;
+    }
+  }
+  throw vkey::Error("unknown activation");
+}
+
+Vec Dense::forward(const Vec& x) {
+  last_x_ = x;
+  last_y_ = activate(affine(x));
+  return last_y_;
+}
+
+Vec Dense::infer(const Vec& x) const { return activate(affine(x)); }
+
+Vec Dense::backward(const Vec& grad_out) {
+  VKEY_REQUIRE(grad_out.size() == out_, "Dense grad size mismatch");
+  VKEY_REQUIRE(last_x_.size() == in_, "Dense backward before forward");
+
+  // Fold the activation derivative into the output gradient.
+  Vec dz = grad_out;
+  switch (act_) {
+    case Activation::kNone:
+      break;
+    case Activation::kSigmoid:
+      for (std::size_t o = 0; o < out_; ++o)
+        dz[o] *= dsigmoid_from_y(last_y_[o]);
+      break;
+    case Activation::kTanh:
+      for (std::size_t o = 0; o < out_; ++o)
+        dz[o] *= dtanh_from_y(last_y_[o]);
+      break;
+    case Activation::kRelu:
+      for (std::size_t o = 0; o < out_; ++o)
+        if (last_y_[o] <= 0.0) dz[o] = 0.0;
+      break;
+  }
+
+  Vec dx(in_, 0.0);
+  for (std::size_t o = 0; o < out_; ++o) {
+    const double g = dz[o];
+    b_.grad[o] += g;
+    double* gw = &w_.grad[o * in_];
+    const double* wrow = &w_.value[o * in_];
+    for (std::size_t i = 0; i < in_; ++i) {
+      gw[i] += g * last_x_[i];
+      dx[i] += g * wrow[i];
+    }
+  }
+  return dx;
+}
+
+}  // namespace vkey::nn

@@ -1,0 +1,54 @@
+// Fully connected layer: y = W x + b.
+//
+// forward() caches the input so an immediately following backward() can
+// accumulate weight gradients; the usual usage is per-sample
+// forward -> backward with gradients summed over a mini-batch, then one
+// optimizer step.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/param.h"
+
+namespace vkey::nn {
+
+enum class Activation { kNone, kSigmoid, kTanh, kRelu };
+
+class Dense {
+ public:
+  /// Xavier-uniform initialization with the given RNG.
+  Dense(std::size_t in, std::size_t out, vkey::Rng& rng,
+        Activation act = Activation::kNone);
+
+  /// Forward pass; caches input and (for nonlinear activations) output.
+  Vec forward(const Vec& x);
+
+  /// Forward without caching (inference-only; usable concurrently).
+  Vec infer(const Vec& x) const;
+
+  /// Backward pass for the most recent forward(). Accumulates gradients
+  /// into the layer parameters and returns dL/dx.
+  Vec backward(const Vec& grad_out);
+
+  std::size_t in_size() const { return in_; }
+  std::size_t out_size() const { return out_; }
+
+  std::vector<Parameter*> parameters() { return {&w_, &b_}; }
+  const Parameter& weights() const { return w_; }
+  const Parameter& bias() const { return b_; }
+
+ private:
+  Vec affine(const Vec& x) const;
+  Vec activate(const Vec& z) const;
+
+  std::size_t in_;
+  std::size_t out_;
+  Activation act_;
+  Parameter w_;  // out x in, row-major
+  Parameter b_;  // out
+  Vec last_x_;
+  Vec last_y_;   // post-activation (needed for activation derivative)
+};
+
+}  // namespace vkey::nn

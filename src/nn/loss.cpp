@@ -1,0 +1,42 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "nn/activations.h"
+
+namespace vkey::nn {
+
+MseResult mse_loss(const Vec& pred, const Vec& target) {
+  VKEY_REQUIRE(pred.size() == target.size() && !pred.empty(),
+               "mse_loss size mismatch");
+  MseResult r{0.0, Vec(pred.size())};
+  const double n = static_cast<double>(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - target[i];
+    r.loss += d * d;
+    r.grad[i] = 2.0 * d / n;
+  }
+  r.loss /= n;
+  return r;
+}
+
+BceResult bce_with_logits(const Vec& logits, const Vec& target) {
+  VKEY_REQUIRE(logits.size() == target.size() && !logits.empty(),
+               "bce_with_logits size mismatch");
+  BceResult r{0.0, Vec(logits.size()), Vec(logits.size())};
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    VKEY_REQUIRE(target[i] >= 0.0 && target[i] <= 1.0,
+                 "BCE target must be in [0,1]");
+    const double x = logits[i];
+    const double z = target[i];
+    // Stable form: max(x,0) - x*z + log(1 + exp(-|x|)).
+    r.loss += std::max(x, 0.0) - x * z + std::log1p(std::exp(-std::fabs(x)));
+    const double p = sigmoid(x);
+    r.probability[i] = p;
+    r.grad[i] = p - z;
+  }
+  return r;
+}
+
+}  // namespace vkey::nn

@@ -1,0 +1,211 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "nn/activations.h"
+
+namespace vkey::nn {
+
+Lstm::Lstm(std::size_t input, std::size_t hidden, vkey::Rng& rng,
+           bool reverse)
+    : input_(input),
+      hidden_(hidden),
+      reverse_(reverse),
+      wx_(4 * hidden * input),
+      wh_(4 * hidden * hidden),
+      b_(4 * hidden) {
+  VKEY_REQUIRE(input > 0 && hidden > 0, "Lstm sizes must be positive");
+  const double bx = std::sqrt(6.0 / static_cast<double>(input + hidden));
+  const double bh = std::sqrt(6.0 / static_cast<double>(2 * hidden));
+  for (auto& v : wx_.value) v = rng.uniform(-bx, bx);
+  for (auto& v : wh_.value) v = rng.uniform(-bh, bh);
+  // Standard trick: bias the forget gate open so gradients flow early on.
+  for (std::size_t j = hidden; j < 2 * hidden; ++j) b_.value[j] = 1.0;
+}
+
+void Lstm::step(const Vec& x, const Vec& h_prev, const Vec& c_prev,
+                Vec& h_out, Vec& c_out, StepCache* cache) const {
+  const std::size_t h = hidden_;
+  Vec z(4 * h);
+  for (std::size_t j = 0; j < 4 * h; ++j) {
+    double s = b_.value[j];
+    const double* wx_row = &wx_.value[j * input_];
+    for (std::size_t k = 0; k < input_; ++k) s += wx_row[k] * x[k];
+    const double* wh_row = &wh_.value[j * h];
+    for (std::size_t k = 0; k < h; ++k) s += wh_row[k] * h_prev[k];
+    z[j] = s;
+  }
+  Vec gi(h), gf(h), gg(h), go(h), c(h), tc(h);
+  for (std::size_t k = 0; k < h; ++k) {
+    gi[k] = sigmoid(z[k]);
+    gf[k] = sigmoid(z[h + k]);
+    gg[k] = std::tanh(z[2 * h + k]);
+    go[k] = sigmoid(z[3 * h + k]);
+    c[k] = gf[k] * c_prev[k] + gi[k] * gg[k];
+    tc[k] = std::tanh(c[k]);
+  }
+  h_out.resize(h);
+  c_out = c;
+  for (std::size_t k = 0; k < h; ++k) h_out[k] = go[k] * tc[k];
+  if (cache != nullptr) {
+    cache->x = x;
+    cache->h_prev = h_prev;
+    cache->c_prev = c_prev;
+    cache->i = std::move(gi);
+    cache->f = std::move(gf);
+    cache->g = std::move(gg);
+    cache->o = std::move(go);
+    cache->c = std::move(c);
+    cache->tanh_c = std::move(tc);
+    cache->h = h_out;
+  }
+}
+
+Seq Lstm::forward(const Seq& x) {
+  const std::size_t t_len = x.size();
+  VKEY_REQUIRE(t_len > 0, "Lstm forward on empty sequence");
+  cache_.assign(t_len, StepCache{});
+  Seq out(t_len);
+  Vec h(hidden_, 0.0), c(hidden_, 0.0);
+  for (std::size_t step_idx = 0; step_idx < t_len; ++step_idx) {
+    const std::size_t t = reverse_ ? t_len - 1 - step_idx : step_idx;
+    VKEY_REQUIRE(x[t].size() == input_, "Lstm input width mismatch");
+    Vec h_next, c_next;
+    step(x[t], h, c, h_next, c_next, &cache_[step_idx]);
+    h = std::move(h_next);
+    c = std::move(c_next);
+    out[t] = h;
+  }
+  return out;
+}
+
+Seq Lstm::infer(const Seq& x) const {
+  const std::size_t t_len = x.size();
+  VKEY_REQUIRE(t_len > 0, "Lstm infer on empty sequence");
+  Seq out(t_len);
+  Vec h(hidden_, 0.0), c(hidden_, 0.0);
+  for (std::size_t step_idx = 0; step_idx < t_len; ++step_idx) {
+    const std::size_t t = reverse_ ? t_len - 1 - step_idx : step_idx;
+    VKEY_REQUIRE(x[t].size() == input_, "Lstm input width mismatch");
+    Vec h_next, c_next;
+    step(x[t], h, c, h_next, c_next, nullptr);
+    h = std::move(h_next);
+    c = std::move(c_next);
+    out[t] = h;
+  }
+  return out;
+}
+
+Seq Lstm::backward(const Seq& grad_out) {
+  const std::size_t t_len = cache_.size();
+  VKEY_REQUIRE(t_len > 0, "Lstm backward before forward");
+  VKEY_REQUIRE(grad_out.size() == t_len, "Lstm grad length mismatch");
+  const std::size_t h = hidden_;
+
+  Seq dx(t_len, Vec(input_, 0.0));
+  Vec dh_rec(h, 0.0), dc_rec(h, 0.0);
+  Vec dz(4 * h);
+
+  for (std::size_t step_idx = t_len; step_idx-- > 0;) {
+    const std::size_t t = reverse_ ? t_len - 1 - step_idx : step_idx;
+    const StepCache& cc = cache_[step_idx];
+    VKEY_REQUIRE(grad_out[t].size() == h, "Lstm grad width mismatch");
+
+    for (std::size_t k = 0; k < h; ++k) {
+      const double dh = grad_out[t][k] + dh_rec[k];
+      const double d_o = dh * cc.tanh_c[k];
+      const double dc = dh * cc.o[k] * dtanh_from_y(cc.tanh_c[k]) + dc_rec[k];
+      const double d_f = dc * cc.c_prev[k];
+      const double d_i = dc * cc.g[k];
+      const double d_g = dc * cc.i[k];
+      dc_rec[k] = dc * cc.f[k];
+      dz[k] = d_i * dsigmoid_from_y(cc.i[k]);
+      dz[h + k] = d_f * dsigmoid_from_y(cc.f[k]);
+      dz[2 * h + k] = d_g * dtanh_from_y(cc.g[k]);
+      dz[3 * h + k] = d_o * dsigmoid_from_y(cc.o[k]);
+    }
+
+    // Parameter gradients and upstream gradients.
+    std::fill(dh_rec.begin(), dh_rec.end(), 0.0);
+    for (std::size_t j = 0; j < 4 * h; ++j) {
+      const double g = dz[j];
+      if (g == 0.0) continue;
+      b_.grad[j] += g;
+      double* gwx = &wx_.grad[j * input_];
+      const double* wx_row = &wx_.value[j * input_];
+      for (std::size_t k = 0; k < input_; ++k) {
+        gwx[k] += g * cc.x[k];
+        dx[t][k] += g * wx_row[k];
+      }
+      double* gwh = &wh_.grad[j * h];
+      const double* wh_row = &wh_.value[j * h];
+      for (std::size_t k = 0; k < h; ++k) {
+        gwh[k] += g * cc.h_prev[k];
+        dh_rec[k] += g * wh_row[k];
+      }
+    }
+  }
+  return dx;
+}
+
+BiLstm::BiLstm(std::size_t input, std::size_t hidden, vkey::Rng& rng)
+    : hidden_(hidden),
+      fwd_(input, hidden, rng, /*reverse=*/false),
+      bwd_(input, hidden, rng, /*reverse=*/true) {}
+
+Seq BiLstm::forward(const Seq& x) {
+  const Seq hf = fwd_.forward(x);
+  const Seq hb = bwd_.forward(x);
+  Seq out(x.size(), Vec(2 * hidden_));
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    std::copy(hf[t].begin(), hf[t].end(), out[t].begin());
+    std::copy(hb[t].begin(), hb[t].end(),
+              out[t].begin() + static_cast<std::ptrdiff_t>(hidden_));
+  }
+  return out;
+}
+
+Seq BiLstm::infer(const Seq& x) const {
+  const Seq hf = fwd_.infer(x);
+  const Seq hb = bwd_.infer(x);
+  Seq out(x.size(), Vec(2 * hidden_));
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    std::copy(hf[t].begin(), hf[t].end(), out[t].begin());
+    std::copy(hb[t].begin(), hb[t].end(),
+              out[t].begin() + static_cast<std::ptrdiff_t>(hidden_));
+  }
+  return out;
+}
+
+Seq BiLstm::backward(const Seq& grad_out) {
+  const std::size_t t_len = grad_out.size();
+  Seq gf(t_len, Vec(hidden_)), gb(t_len, Vec(hidden_));
+  for (std::size_t t = 0; t < t_len; ++t) {
+    VKEY_REQUIRE(grad_out[t].size() == 2 * hidden_,
+                 "BiLstm grad width mismatch");
+    std::copy(grad_out[t].begin(),
+              grad_out[t].begin() + static_cast<std::ptrdiff_t>(hidden_),
+              gf[t].begin());
+    std::copy(grad_out[t].begin() + static_cast<std::ptrdiff_t>(hidden_),
+              grad_out[t].end(), gb[t].begin());
+  }
+  const Seq dxf = fwd_.backward(gf);
+  const Seq dxb = bwd_.backward(gb);
+  Seq dx(t_len, Vec(fwd_.input_size(), 0.0));
+  for (std::size_t t = 0; t < t_len; ++t) {
+    for (std::size_t k = 0; k < dx[t].size(); ++k) {
+      dx[t][k] = dxf[t][k] + dxb[t][k];
+    }
+  }
+  return dx;
+}
+
+std::vector<Parameter*> BiLstm::parameters() {
+  auto p = fwd_.parameters();
+  const auto pb = bwd_.parameters();
+  p.insert(p.end(), pb.begin(), pb.end());
+  return p;
+}
+
+}  // namespace vkey::nn

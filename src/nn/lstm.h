@@ -1,0 +1,83 @@
+// LSTM and bidirectional LSTM with full backpropagation through time.
+//
+// The paper's prediction module is a single BiLSTM layer ("32 cells, 128
+// hidden units") followed by fully connected heads. Layer sizes here are
+// constructor parameters: the architecture is the paper's; the default
+// hidden width used by tests/benches is smaller because this repository
+// trains on a single CPU core (see DESIGN.md "NN sizing").
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/param.h"
+
+namespace vkey::nn {
+
+/// Sequence of feature vectors, outer index = time step.
+using Seq = std::vector<Vec>;
+
+/// Unidirectional LSTM layer (optionally processing the sequence reversed).
+class Lstm {
+ public:
+  Lstm(std::size_t input, std::size_t hidden, vkey::Rng& rng,
+       bool reverse = false);
+
+  /// Forward over a sequence; returns hidden states in *time* order
+  /// regardless of processing direction. Caches all intermediates for BPTT.
+  Seq forward(const Seq& x);
+
+  /// Inference-only forward (no caching).
+  Seq infer(const Seq& x) const;
+
+  /// BPTT for the most recent forward(). `grad_out` is dL/dh in time order;
+  /// returns dL/dx in time order. Gradients accumulate into the parameters.
+  Seq backward(const Seq& grad_out);
+
+  std::size_t input_size() const { return input_; }
+  std::size_t hidden_size() const { return hidden_; }
+
+  std::vector<Parameter*> parameters() { return {&wx_, &wh_, &b_}; }
+
+ private:
+  struct StepCache {
+    Vec x, h_prev, c_prev;
+    Vec i, f, g, o, c, tanh_c, h;
+  };
+
+  /// Core cell step; writes the cache if `cache` is non-null.
+  void step(const Vec& x, const Vec& h_prev, const Vec& c_prev, Vec& h_out,
+            Vec& c_out, StepCache* cache) const;
+
+  std::size_t input_;
+  std::size_t hidden_;
+  bool reverse_;
+  // Gate order within the stacked matrices: input, forget, cell, output.
+  Parameter wx_;  // 4H x input
+  Parameter wh_;  // 4H x hidden
+  Parameter b_;   // 4H  (forget-gate bias initialized to 1)
+  std::vector<StepCache> cache_;  // indexed by processing step
+};
+
+/// Bidirectional LSTM: forward and backward passes concatenated per step,
+/// output width = 2 * hidden.
+class BiLstm {
+ public:
+  BiLstm(std::size_t input, std::size_t hidden, vkey::Rng& rng);
+
+  Seq forward(const Seq& x);
+  Seq infer(const Seq& x) const;
+  Seq backward(const Seq& grad_out);
+
+  std::size_t output_size() const { return 2 * hidden_; }
+  std::size_t hidden_size() const { return hidden_; }
+
+  std::vector<Parameter*> parameters();
+
+ private:
+  std::size_t hidden_;
+  Lstm fwd_;
+  Lstm bwd_;
+};
+
+}  // namespace vkey::nn

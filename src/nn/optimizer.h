@@ -1,0 +1,50 @@
+// Optimizers: plain SGD and Adam (Kingma & Ba).
+//
+// Layers accumulate gradients across a mini-batch; step() consumes them
+// (dividing by the batch size) and zeroes the accumulators.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/param.h"
+
+namespace vkey::nn {
+
+class Sgd {
+ public:
+  explicit Sgd(std::vector<Parameter*> params, double lr = 0.01);
+
+  /// Apply one update using the accumulated gradients / `batch_size`,
+  /// then zero the gradients.
+  void step(std::size_t batch_size = 1);
+
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  double lr_;
+};
+
+class Adam {
+ public:
+  explicit Adam(std::vector<Parameter*> params, double lr = 1e-3,
+                double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8);
+
+  void step(std::size_t batch_size = 1);
+
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace vkey::nn

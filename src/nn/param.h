@@ -1,0 +1,29 @@
+// Trainable parameter storage shared by all vkey::nn layers.
+//
+// A Parameter owns its value vector, an accumulated gradient (summed across a
+// mini-batch of backward passes) and lazily-allocated Adam moment buffers.
+// Layers expose their parameters so an optimizer can update them in place.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vkey::nn {
+
+using Vec = std::vector<double>;
+
+struct Parameter {
+  Vec value;
+  Vec grad;
+  // Adam moments (allocated by the optimizer on first use).
+  Vec adam_m;
+  Vec adam_v;
+
+  explicit Parameter(std::size_t n = 0) : value(n, 0.0), grad(n, 0.0) {}
+
+  std::size_t size() const { return value.size(); }
+
+  void zero_grad() { std::fill(grad.begin(), grad.end(), 0.0); }
+};
+
+}  // namespace vkey::nn

@@ -1,0 +1,36 @@
+#include "protocol/attacks.h"
+
+#include "common/error.h"
+#include "protocol/message.h"
+
+namespace vkey::protocol {
+
+std::optional<Message> find_syndrome(const PublicChannel& channel) {
+  for (const auto& msg : channel.transcript()) {
+    if (msg.type == MessageType::kSyndrome) return msg;
+  }
+  return std::nullopt;
+}
+
+BitVec eavesdrop_attack(const core::AutoencoderReconciler& reconciler,
+                        const BitVec& eve_key, const Message& syndrome) {
+  VKEY_REQUIRE(syndrome.type == MessageType::kSyndrome,
+               "message is not a syndrome");
+  const auto y_bob = unpack_doubles(syndrome.payload);
+  return reconciler.reconcile(eve_key, y_bob);
+}
+
+void install_syndrome_tamper(PublicChannel& channel) {
+  channel.set_interceptor([](const Message& msg) -> std::optional<Message> {
+    if (msg.type != MessageType::kSyndrome || msg.payload.empty()) {
+      return msg;
+    }
+    Message tampered = msg;
+    tampered.payload[tampered.payload.size() / 2] ^= 0x80;
+    return tampered;
+  });
+}
+
+Message make_replay(const Message& original) { return original; }
+
+}  // namespace vkey::protocol

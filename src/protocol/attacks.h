@@ -1,0 +1,41 @@
+// Attacker toolkit for the security analysis (paper Sec. V-H).
+//
+// Eve has full protocol knowledge: the trained models, the Bloom/session
+// parameters and everything on the public channel. What she lacks is the
+// legitimate channel's small-scale fading. The helpers here implement the
+// paper's two evaluated attacks plus the two "handled by construction"
+// attacks (MITM, replay) whose rejection the tests verify:
+//
+//  * Eavesdropping attack: pull y_Bob from the transcript and run the public
+//    decoder against Eve's own key material (Fig. 15(a): ~50% agreement).
+//  * Imitating attack: drive Eve's channel observations (she followed
+//    Alice's route) through the same pipeline (Fig. 15(b)).
+//  * MITM: intercept and perturb the syndrome; Alice's MAC check must fail.
+//  * Replay: re-inject an old syndrome; the nonce window must reject it.
+#pragma once
+
+#include <optional>
+
+#include "common/bitvec.h"
+#include "core/reconciler.h"
+#include "protocol/channel.h"
+
+namespace vkey::protocol {
+
+/// Extract the first syndrome message from a channel transcript.
+std::optional<Message> find_syndrome(const PublicChannel& channel);
+
+/// Eavesdropping attack: Eve decodes y_Bob with her own key material using
+/// the public reconciler. Returns her corrected-key guess.
+BitVec eavesdrop_attack(const core::AutoencoderReconciler& reconciler,
+                        const BitVec& eve_key, const Message& syndrome);
+
+/// Install a MITM interceptor that perturbs every syndrome payload in
+/// flight (flips one byte) while passing other traffic through.
+void install_syndrome_tamper(PublicChannel& channel);
+
+/// Build a replayed copy of a previously observed message (same nonce —
+/// exactly what the replay window must reject).
+Message make_replay(const Message& original);
+
+}  // namespace vkey::protocol

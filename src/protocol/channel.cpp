@@ -1,0 +1,29 @@
+#include "protocol/channel.h"
+
+namespace vkey::protocol {
+
+void PublicChannel::send(const Message& msg) {
+  transcript_.push_back(msg);
+  if (interceptor_) {
+    auto delivered = interceptor_(msg);
+    if (!delivered.has_value()) return;  // dropped
+    queue_.push_back(std::move(*delivered));
+    return;
+  }
+  queue_.push_back(msg);
+}
+
+std::optional<Message> PublicChannel::receive() {
+  if (queue_.empty()) return std::nullopt;
+  Message msg = std::move(queue_.front());
+  queue_.pop_front();
+  return msg;
+}
+
+void PublicChannel::set_interceptor(Interceptor interceptor) {
+  interceptor_ = std::move(interceptor);
+}
+
+void PublicChannel::inject(const Message& msg) { queue_.push_back(msg); }
+
+}  // namespace vkey::protocol

@@ -1,0 +1,57 @@
+#include "protocol/group.h"
+
+#include "common/error.h"
+
+namespace vkey::protocol {
+
+GroupKeyHub::GroupKeyHub(std::uint64_t hub_seed) : rng_(hub_seed) {}
+
+void GroupKeyHub::add_member(const std::string& member_id,
+                             const BitVec& pairwise_key) {
+  VKEY_REQUIRE(pairwise_key.size() == 128,
+               "pairwise key must be 128 bits");
+  VKEY_REQUIRE(!member_id.empty(), "member id must be non-empty");
+  members_[member_id] = pairwise_key;
+}
+
+void GroupKeyHub::remove_member(const std::string& member_id) {
+  const auto it = members_.find(member_id);
+  VKEY_REQUIRE(it != members_.end(), "unknown member: " + member_id);
+  members_.erase(it);
+  group_key_.reset();  // force rotation on the next distribution
+}
+
+BitVec GroupKeyHub::group_key() const {
+  VKEY_REQUIRE(group_key_.has_value(), "no group key distributed yet");
+  return *group_key_;
+}
+
+std::vector<std::pair<std::string, Message>> GroupKeyHub::distribute() {
+  VKEY_REQUIRE(!members_.empty(), "no members to distribute to");
+  ++epoch_;
+  BitVec key(128);
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key.set(i, rng_.bernoulli(0.5));
+  }
+  group_key_ = key;
+
+  std::vector<std::pair<std::string, Message>> out;
+  out.reserve(members_.size());
+  const auto payload = key.to_bytes();
+  for (const auto& [id, pairwise] : members_) {
+    const SecureLink link(pairwise);
+    out.emplace_back(id, link.seal(/*session_id=*/epoch_,
+                                   /*nonce=*/epoch_, payload));
+  }
+  return out;
+}
+
+std::optional<BitVec> unwrap_group_key(const BitVec& pairwise_key,
+                                       const Message& wrapped) {
+  const SecureLink link(pairwise_key);
+  const auto payload = link.open(wrapped);
+  if (!payload.has_value() || payload->size() != 16) return std::nullopt;
+  return BitVec::from_bytes(*payload, 128);
+}
+
+}  // namespace vkey::protocol

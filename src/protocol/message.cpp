@@ -1,0 +1,86 @@
+#include "protocol/message.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace vkey::protocol {
+
+namespace {
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (56 - 8 * i)));
+  }
+}
+
+std::optional<std::uint64_t> get_u64(std::span<const std::uint8_t> bytes,
+                                     std::size_t& off) {
+  if (off + 8 > bytes.size()) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | bytes[off++];
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> mac_input(const Message& msg) {
+  std::vector<std::uint8_t> out;
+  out.push_back(static_cast<std::uint8_t>(msg.type));
+  put_u64(out, msg.session_id);
+  put_u64(out, msg.nonce);
+  put_u64(out, msg.payload.size());
+  out.insert(out.end(), msg.payload.begin(), msg.payload.end());
+  return out;
+}
+
+std::vector<std::uint8_t> serialize(const Message& msg) {
+  std::vector<std::uint8_t> out = mac_input(msg);
+  put_u64(out, msg.mac.size());
+  out.insert(out.end(), msg.mac.begin(), msg.mac.end());
+  return out;
+}
+
+std::optional<Message> deserialize(std::span<const std::uint8_t> bytes) {
+  std::size_t off = 0;
+  if (bytes.empty()) return std::nullopt;
+  Message msg;
+  const std::uint8_t type = bytes[off++];
+  if (type < 1 || type > 6) return std::nullopt;
+  msg.type = static_cast<MessageType>(type);
+
+  const auto session = get_u64(bytes, off);
+  const auto nonce = get_u64(bytes, off);
+  const auto payload_len = get_u64(bytes, off);
+  if (!session || !nonce || !payload_len) return std::nullopt;
+  msg.session_id = *session;
+  msg.nonce = *nonce;
+  if (off + *payload_len > bytes.size()) return std::nullopt;
+  msg.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(off),
+                     bytes.begin() +
+                         static_cast<std::ptrdiff_t>(off + *payload_len));
+  off += *payload_len;
+
+  const auto mac_len = get_u64(bytes, off);
+  if (!mac_len) return std::nullopt;
+  if (off + *mac_len != bytes.size()) return std::nullopt;
+  msg.mac.assign(bytes.begin() + static_cast<std::ptrdiff_t>(off),
+                 bytes.end());
+  return msg;
+}
+
+std::vector<std::uint8_t> pack_doubles(std::span<const double> values) {
+  std::vector<std::uint8_t> out(values.size() * sizeof(double));
+  std::memcpy(out.data(), values.data(), out.size());
+  return out;
+}
+
+std::vector<double> unpack_doubles(std::span<const std::uint8_t> bytes) {
+  VKEY_REQUIRE(bytes.size() % sizeof(double) == 0,
+               "payload is not a double vector");
+  std::vector<double> out(bytes.size() / sizeof(double));
+  std::memcpy(out.data(), bytes.data(), bytes.size());
+  return out;
+}
+
+}  // namespace vkey::protocol

@@ -1,0 +1,53 @@
+// Wire messages of the Vehicle-Key agreement protocol.
+//
+// Only reconciliation and confirmation need explicit messages (probing is
+// radio-level and carried by the channel simulator). Every message carries a
+// session id and a monotonically increasing nonce; syndrome and confirmation
+// messages are authenticated with HMAC-SHA256 keyed by the (Bloom-mapped)
+// key material, which is how the paper defeats man-in-the-middle
+// modification (Sec. IV-C), while nonces + session ids defeat replay.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace vkey::protocol {
+
+enum class MessageType : std::uint8_t {
+  kKeyGenRequest = 1,   ///< Alice -> Bob: start a session
+  kKeyGenAccept = 2,    ///< Bob -> Alice: session accepted
+  kSyndrome = 3,        ///< Bob -> Alice: y_Bob + MAC
+  kKeyConfirm = 4,      ///< Alice -> Bob: hash commitment of the final key
+  kKeyConfirmAck = 5,   ///< Bob -> Alice: confirmation verified
+  kData = 6,            ///< AES-CTR protected payload
+};
+
+struct Message {
+  MessageType type = MessageType::kKeyGenRequest;
+  std::uint64_t session_id = 0;
+  std::uint64_t nonce = 0;
+  std::vector<std::uint8_t> payload;
+  std::vector<std::uint8_t> mac;  ///< empty when the type is unauthenticated
+
+  bool operator==(const Message&) const = default;
+};
+
+/// Flat binary serialization (type | session | nonce | payload len+bytes |
+/// mac len+bytes). Deterministic; used both on the simulated wire and as the
+/// MAC input.
+std::vector<std::uint8_t> serialize(const Message& msg);
+
+/// Parse bytes back into a Message; nullopt on malformed input.
+std::optional<Message> deserialize(std::span<const std::uint8_t> bytes);
+
+/// The byte string a MAC covers: everything except the mac field itself.
+std::vector<std::uint8_t> mac_input(const Message& msg);
+
+/// Pack a vector of doubles into the payload (little-endian IEEE754) and
+/// back (the syndrome y_Bob is a real vector).
+std::vector<std::uint8_t> pack_doubles(std::span<const double> values);
+std::vector<double> unpack_doubles(std::span<const std::uint8_t> bytes);
+
+}  // namespace vkey::protocol

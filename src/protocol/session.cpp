@@ -1,0 +1,329 @@
+#include "protocol/session.h"
+
+#include "common/error.h"
+#include "crypto/aes128.h"
+#include "crypto/hkdf.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace vkey::protocol {
+
+namespace {
+
+std::vector<std::uint8_t> hmac_of(const BitVec& key, const Message& msg) {
+  return [&] {
+    const auto tag = crypto::hmac_sha256(key.to_bytes(), mac_input(msg));
+    return std::vector<std::uint8_t>(tag.begin(), tag.end());
+  }();
+}
+
+std::vector<std::uint8_t> confirm_digest(const BitVec& final_key,
+                                         std::uint64_t session_id,
+                                         const char* role) {
+  crypto::Sha256 h;
+  const auto kb = final_key.to_bytes();
+  h.update(kb);
+  std::uint8_t sid[8];
+  for (int i = 0; i < 8; ++i) {
+    sid[i] = static_cast<std::uint8_t>(session_id >> (56 - 8 * i));
+  }
+  h.update(sid, sizeof(sid));
+  h.update(reinterpret_cast<const std::uint8_t*>(role), 1);
+  const auto d = h.finalize();
+  return {d.begin(), d.end()};
+}
+
+}  // namespace
+
+std::string to_string(SessionState s) {
+  switch (s) {
+    case SessionState::kIdle: return "idle";
+    case SessionState::kAwaitAccept: return "await-accept";
+    case SessionState::kAwaitSyndrome: return "await-syndrome";
+    case SessionState::kAwaitConfirm: return "await-confirm";
+    case SessionState::kAwaitConfirmAck: return "await-confirm-ack";
+    case SessionState::kEstablished: return "established";
+    case SessionState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+std::string to_string(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kBadSession: return "bad-session";
+    case RejectReason::kReplayedNonce: return "replayed-nonce";
+    case RejectReason::kMacMismatch: return "mac-mismatch";
+    case RejectReason::kBadState: return "bad-state";
+    case RejectReason::kMalformed: return "malformed";
+    case RejectReason::kConfirmMismatch: return "confirm-mismatch";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- BobSession
+
+BobSession::BobSession(const SessionConfig& config,
+                       const core::AutoencoderReconciler& reconciler,
+                       BitVec raw_key)
+    : cfg_(config),
+      reconciler_(reconciler),
+      raw_key_(std::move(raw_key)),
+      amplifier_(config.final_key_bits) {
+  VKEY_REQUIRE(raw_key_.size() == reconciler.config().key_bits,
+               "Bob key width must match the reconciler");
+}
+
+BitVec BobSession::final_key() const {
+  VKEY_REQUIRE(state_ == SessionState::kEstablished,
+               "session not established");
+  return amplifier_.amplify(raw_key_, cfg_.session_id);
+}
+
+std::optional<Message> BobSession::handle(const Message& msg) {
+  last_reject_ = RejectReason::kNone;
+  if (msg.session_id != cfg_.session_id) {
+    last_reject_ = RejectReason::kBadSession;
+    return std::nullopt;
+  }
+  if (saw_any_nonce_ && msg.nonce <= highest_seen_nonce_) {
+    last_reject_ = RejectReason::kReplayedNonce;
+    return std::nullopt;
+  }
+  highest_seen_nonce_ = msg.nonce;
+  saw_any_nonce_ = true;
+  next_nonce_ = std::max(next_nonce_, msg.nonce + 1);
+
+  switch (msg.type) {
+    case MessageType::kKeyGenRequest: {
+      if (state_ != SessionState::kIdle) {
+        last_reject_ = RejectReason::kBadState;
+        return std::nullopt;
+      }
+      // Accept, then immediately publish the syndrome.
+      Message accept;
+      accept.type = MessageType::kKeyGenAccept;
+      accept.session_id = cfg_.session_id;
+      accept.nonce = next_nonce_++;
+
+      state_ = SessionState::kAwaitConfirm;
+      return accept;
+    }
+    case MessageType::kKeyConfirm: {
+      if (state_ != SessionState::kAwaitConfirm) {
+        last_reject_ = RejectReason::kBadState;
+        return std::nullopt;
+      }
+      const auto expected = confirm_digest(
+          amplifier_.amplify(raw_key_, cfg_.session_id), cfg_.session_id,
+          "A");
+      if (!crypto::constant_time_equal(msg.payload, expected)) {
+        last_reject_ = RejectReason::kConfirmMismatch;
+        state_ = SessionState::kFailed;
+        return std::nullopt;
+      }
+      state_ = SessionState::kEstablished;
+      Message ack;
+      ack.type = MessageType::kKeyConfirmAck;
+      ack.session_id = cfg_.session_id;
+      ack.nonce = next_nonce_++;
+      ack.payload = confirm_digest(final_key(), cfg_.session_id, "B");
+      return ack;
+    }
+    default:
+      last_reject_ = RejectReason::kBadState;
+      return std::nullopt;
+  }
+}
+
+Message BobSession::make_syndrome() {
+  VKEY_REQUIRE(state_ == SessionState::kAwaitConfirm,
+               "syndrome requested before the session was accepted");
+  Message msg;
+  msg.type = MessageType::kSyndrome;
+  msg.session_id = cfg_.session_id;
+  msg.nonce = next_nonce_++;
+  msg.payload = pack_doubles(reconciler_.encode_bob(raw_key_));
+  msg.mac = hmac_of(raw_key_, msg);
+  return msg;
+}
+
+// -------------------------------------------------------------- AliceSession
+
+AliceSession::AliceSession(const SessionConfig& config,
+                           const core::AutoencoderReconciler& reconciler,
+                           BitVec raw_key)
+    : cfg_(config),
+      reconciler_(reconciler),
+      raw_key_(std::move(raw_key)),
+      amplifier_(config.final_key_bits) {
+  VKEY_REQUIRE(raw_key_.size() == reconciler.config().key_bits,
+               "Alice key width must match the reconciler");
+}
+
+Message AliceSession::start() {
+  VKEY_REQUIRE(state_ == SessionState::kIdle, "session already started");
+  Message req;
+  req.type = MessageType::kKeyGenRequest;
+  req.session_id = cfg_.session_id;
+  req.nonce = next_nonce_++;
+  state_ = SessionState::kAwaitAccept;
+  return req;
+}
+
+BitVec AliceSession::final_key() const {
+  VKEY_REQUIRE(state_ == SessionState::kEstablished,
+               "session not established");
+  return amplifier_.amplify(corrected_key_, cfg_.session_id);
+}
+
+std::optional<Message> AliceSession::handle(const Message& msg) {
+  last_reject_ = RejectReason::kNone;
+  if (msg.session_id != cfg_.session_id) {
+    last_reject_ = RejectReason::kBadSession;
+    return std::nullopt;
+  }
+  if (saw_any_nonce_ && msg.nonce <= highest_seen_nonce_) {
+    last_reject_ = RejectReason::kReplayedNonce;
+    return std::nullopt;
+  }
+  highest_seen_nonce_ = msg.nonce;
+  saw_any_nonce_ = true;
+  next_nonce_ = std::max(next_nonce_, msg.nonce + 1);
+
+  switch (msg.type) {
+    case MessageType::kKeyGenAccept: {
+      if (state_ != SessionState::kAwaitAccept) {
+        last_reject_ = RejectReason::kBadState;
+        return std::nullopt;
+      }
+      state_ = SessionState::kAwaitSyndrome;
+      return std::nullopt;  // Bob sends the syndrome unprompted
+    }
+    case MessageType::kSyndrome: {
+      if (state_ != SessionState::kAwaitSyndrome) {
+        last_reject_ = RejectReason::kBadState;
+        return std::nullopt;
+      }
+      std::vector<double> y_bob;
+      try {
+        y_bob = unpack_doubles(msg.payload);
+      } catch (const vkey::Error&) {
+        last_reject_ = RejectReason::kMalformed;
+        return std::nullopt;
+      }
+      if (y_bob.size() != reconciler_.config().code_dim) {
+        last_reject_ = RejectReason::kMalformed;
+        return std::nullopt;
+      }
+      corrected_key_ = reconciler_.reconcile(raw_key_, y_bob);
+      // MAC check: verifies only when the corrected key equals K_Bob, so an
+      // in-flight modification (MITM) or a failed correction aborts here.
+      if (!crypto::constant_time_equal(msg.mac, hmac_of(corrected_key_, msg))) {
+        last_reject_ = RejectReason::kMacMismatch;
+        state_ = SessionState::kFailed;
+        return std::nullopt;
+      }
+      state_ = SessionState::kAwaitConfirmAck;
+      Message confirm;
+      confirm.type = MessageType::kKeyConfirm;
+      confirm.session_id = cfg_.session_id;
+      confirm.nonce = next_nonce_++;
+      confirm.payload = confirm_digest(
+          amplifier_.amplify(corrected_key_, cfg_.session_id),
+          cfg_.session_id, "A");
+      return confirm;
+    }
+    case MessageType::kKeyConfirmAck: {
+      if (state_ != SessionState::kAwaitConfirmAck) {
+        last_reject_ = RejectReason::kBadState;
+        return std::nullopt;
+      }
+      const auto expected = confirm_digest(
+          amplifier_.amplify(corrected_key_, cfg_.session_id),
+          cfg_.session_id, "B");
+      if (!crypto::constant_time_equal(msg.payload, expected)) {
+        last_reject_ = RejectReason::kConfirmMismatch;
+        state_ = SessionState::kFailed;
+        return std::nullopt;
+      }
+      state_ = SessionState::kEstablished;
+      return std::nullopt;
+    }
+    default:
+      last_reject_ = RejectReason::kBadState;
+      return std::nullopt;
+  }
+}
+
+// ----------------------------------------------------------------- plumbing
+
+bool run_key_agreement(PublicChannel& channel, AliceSession& alice,
+                       BobSession& bob) {
+  channel.send(alice.start());
+
+  // Bob publishes the syndrome right after accepting; model that by letting
+  // the loop below ask Bob for his pending syndrome when he reaches
+  // kAwaitConfirm. We synthesize it here from his session state.
+  bool syndrome_sent = false;
+  std::size_t guard = 0;
+  while (channel.pending() > 0 && guard++ < 64) {
+    auto msg = channel.receive();
+    if (!msg) break;
+    // Route by expected direction: requests/confirms go to Bob, the rest to
+    // Alice. (The simulated wire is a single broadcast medium.)
+    std::optional<Message> reply;
+    if (msg->type == MessageType::kKeyGenRequest ||
+        msg->type == MessageType::kKeyConfirm) {
+      reply = bob.handle(*msg);
+    } else {
+      reply = alice.handle(*msg);
+    }
+    if (reply) channel.send(*reply);
+
+    if (!syndrome_sent && bob.state() == SessionState::kAwaitConfirm) {
+      // Bob publishes y_Bob + MAC once the session is accepted.
+      syndrome_sent = true;
+      channel.send(bob.make_syndrome());
+    }
+  }
+  if (alice.state() != SessionState::kEstablished) return false;
+  if (bob.state() != SessionState::kEstablished) return false;
+  return alice.final_key() == bob.final_key();
+}
+
+SecureLink::SecureLink(const BitVec& key128) {
+  VKEY_REQUIRE(key128.size() == 128, "SecureLink needs a 128-bit key");
+  const auto bytes = key128.to_bytes();
+  // Cryptographically separated subkeys via HKDF (RFC 5869).
+  const auto enc = crypto::derive_subkey(bytes, "vkey-v1 encryption", 16);
+  std::copy(enc.begin(), enc.end(), aes_key_.begin());
+  mac_key_ = crypto::derive_subkey(bytes, "vkey-v1 mac", 32);
+}
+
+Message SecureLink::seal(std::uint64_t session_id, std::uint64_t nonce,
+                         const std::vector<std::uint8_t>& plaintext) const {
+  crypto::Aes128 aes(aes_key_);
+  Message msg;
+  msg.type = MessageType::kData;
+  msg.session_id = session_id;
+  msg.nonce = nonce;
+  msg.payload = aes.ctr_crypt(plaintext, nonce);
+  const auto tag = crypto::hmac_sha256(mac_key_, mac_input(msg));
+  msg.mac.assign(tag.begin(), tag.end());
+  return msg;
+}
+
+std::optional<std::vector<std::uint8_t>> SecureLink::open(
+    const Message& msg) const {
+  if (msg.type != MessageType::kData) return std::nullopt;
+  const auto tag = crypto::hmac_sha256(mac_key_, mac_input(msg));
+  if (!crypto::constant_time_equal(
+          msg.mac, std::vector<std::uint8_t>(tag.begin(), tag.end()))) {
+    return std::nullopt;
+  }
+  crypto::Aes128 aes(aes_key_);
+  return aes.ctr_crypt(msg.payload, msg.nonce);
+}
+
+}  // namespace vkey::protocol

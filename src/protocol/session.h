@@ -1,0 +1,140 @@
+// Alice/Bob key-agreement session state machines.
+//
+// Sequence (after channel probing has produced each side's raw key bits):
+//   Alice -> Bob : KeyGenRequest(session, nonce)
+//   Bob   -> Alice: KeyGenAccept(session, nonce+1)
+//   Bob   -> Alice: Syndrome { y_Bob, MAC(K_Bob, header||y_Bob) }
+//   Alice        : reconcile; MAC verifies only if her corrected key equals
+//                  Bob's (MITM modification or a failed correction aborts)
+//   Alice -> Bob : KeyConfirm { H(final || session || "A") }
+//   Bob   -> Alice: KeyConfirmAck { H(final || session || "B") }
+// Replay defense: both sides track the highest nonce seen per session and
+// reject non-increasing nonces or mismatched session ids (Sec. IV-C).
+//
+// After confirmation both sides hold the privacy-amplified 128-bit session
+// key; SecureLink wraps it for AES-128-CTR + HMAC payload protection.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bitvec.h"
+#include "core/privacy.h"
+#include "core/reconciler.h"
+#include "protocol/channel.h"
+
+namespace vkey::protocol {
+
+enum class SessionState : std::uint8_t {
+  kIdle,
+  kAwaitAccept,
+  kAwaitSyndrome,
+  kAwaitConfirm,
+  kAwaitConfirmAck,
+  kEstablished,
+  kFailed,
+};
+
+/// Why a message was rejected (for diagnostics and the attack benches).
+enum class RejectReason : std::uint8_t {
+  kNone,
+  kBadSession,
+  kReplayedNonce,
+  kMacMismatch,
+  kBadState,
+  kMalformed,
+  kConfirmMismatch,
+};
+
+std::string to_string(SessionState s);
+std::string to_string(RejectReason r);
+
+struct SessionConfig {
+  std::uint64_t session_id = 1;
+  std::size_t final_key_bits = 128;
+};
+
+class BobSession {
+ public:
+  /// `raw_key` is Bob's quantized key material (reconciler.key_bits wide).
+  BobSession(const SessionConfig& config,
+             const core::AutoencoderReconciler& reconciler, BitVec raw_key);
+
+  /// Feed an inbound message; returns the response to transmit, if any.
+  std::optional<Message> handle(const Message& msg);
+
+  /// Build the syndrome message { y_Bob, MAC(K_Bob, header||y_Bob) }.
+  /// Valid once the session has been accepted (state kAwaitConfirm).
+  Message make_syndrome();
+
+  SessionState state() const { return state_; }
+  RejectReason last_reject() const { return last_reject_; }
+
+  /// Final 128-bit key; valid once state() == kEstablished.
+  BitVec final_key() const;
+
+ private:
+  SessionConfig cfg_;
+  const core::AutoencoderReconciler& reconciler_;
+  BitVec raw_key_;
+  core::PrivacyAmplifier amplifier_;
+  SessionState state_ = SessionState::kIdle;
+  RejectReason last_reject_ = RejectReason::kNone;
+  std::uint64_t next_nonce_ = 0;
+  std::uint64_t highest_seen_nonce_ = 0;
+  bool saw_any_nonce_ = false;
+};
+
+class AliceSession {
+ public:
+  AliceSession(const SessionConfig& config,
+               const core::AutoencoderReconciler& reconciler, BitVec raw_key);
+
+  /// Kick off the exchange.
+  Message start();
+
+  std::optional<Message> handle(const Message& msg);
+
+  SessionState state() const { return state_; }
+  RejectReason last_reject() const { return last_reject_; }
+
+  BitVec final_key() const;
+
+ private:
+  SessionConfig cfg_;
+  const core::AutoencoderReconciler& reconciler_;
+  BitVec raw_key_;
+  BitVec corrected_key_;
+  core::PrivacyAmplifier amplifier_;
+  SessionState state_ = SessionState::kIdle;
+  RejectReason last_reject_ = RejectReason::kNone;
+  std::uint64_t next_nonce_ = 0;
+  std::uint64_t highest_seen_nonce_ = 0;
+  bool saw_any_nonce_ = false;
+};
+
+/// Drive both parties over a channel until quiescence; returns true when
+/// both sessions established the same key.
+bool run_key_agreement(PublicChannel& channel, AliceSession& alice,
+                       BobSession& bob);
+
+/// AES-128-CTR + HMAC-SHA256 payload protection under an established key.
+class SecureLink {
+ public:
+  explicit SecureLink(const BitVec& key128);
+
+  /// Encrypt and authenticate a payload into a kData message.
+  Message seal(std::uint64_t session_id, std::uint64_t nonce,
+               const std::vector<std::uint8_t>& plaintext) const;
+
+  /// Verify and decrypt; nullopt when authentication fails.
+  std::optional<std::vector<std::uint8_t>> open(const Message& msg) const;
+
+ private:
+  std::array<std::uint8_t, 16> aes_key_;
+  std::vector<std::uint8_t> mac_key_;
+};
+
+}  // namespace vkey::protocol

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "baselines/baseline.h"
+#include "common/error.h"
+#include "baselines/gao.h"
+#include "baselines/han.h"
+#include "baselines/lorakey.h"
+#include "channel/trace.h"
+
+namespace vkey::baselines {
+namespace {
+
+std::vector<channel::ProbeRound> make_trace(std::size_t rounds,
+                                            std::uint64_t seed = 77) {
+  channel::TraceConfig cfg;
+  cfg.scenario =
+      channel::make_scenario(channel::ScenarioKind::kV2VUrban, 50.0);
+  cfg.seed = seed;
+  channel::TraceGenerator gen(cfg);
+  return gen.generate(rounds);
+}
+
+double round_duration() {
+  channel::TraceConfig cfg;
+  cfg.scenario =
+      channel::make_scenario(channel::ScenarioKind::kV2VUrban, 50.0);
+  return channel::TraceGenerator(cfg).round_duration();
+}
+
+TEST(ExtractPrssi, OneValuePerRoundPerParty) {
+  const auto rounds = make_trace(10);
+  const auto s = extract_prssi(rounds);
+  EXPECT_EQ(s.alice.size(), 10u);
+  EXPECT_EQ(s.bob.size(), 10u);
+}
+
+TEST(LoRaKeyBaseline, ProducesReasonableMetrics) {
+  const auto rounds = make_trace(400);
+  LoRaKey lk;
+  const auto m = lk.run(rounds, round_duration());
+  EXPECT_EQ(m.name, "LoRa-Key");
+  EXPECT_GT(m.blocks, 0u);
+  EXPECT_GT(m.mean_kar, 0.5);
+  EXPECT_LE(m.mean_kar, 1.0);
+  EXPECT_GT(m.kgr_bits_per_s, 0.0);
+}
+
+TEST(LoRaKeyBaseline, GuardBandReducesMaterial) {
+  const auto rounds = make_trace(400);
+  LoRaKeyConfig no_guard;
+  no_guard.quantizer.guard_band_ratio = 0.0;
+  LoRaKeyConfig with_guard;  // default alpha = 0.8
+  const auto m_ng = LoRaKey(no_guard).run(rounds, round_duration());
+  const auto m_wg = LoRaKey(with_guard).run(rounds, round_duration());
+  EXPECT_LE(m_wg.blocks, m_ng.blocks);
+}
+
+TEST(LoRaKeyBaseline, EmptyTraceRejected) {
+  EXPECT_THROW(LoRaKey().run({}, 1.0), vkey::Error);
+}
+
+TEST(HanBaseline, ProducesReasonableMetrics) {
+  const auto rounds = make_trace(400);
+  HanV2V han;
+  const auto m = han.run(rounds, round_duration());
+  EXPECT_EQ(m.name, "Han et al.");
+  EXPECT_GT(m.blocks, 0u);
+  // Cascade is interactive and strong, but the LoRa interaction budget
+  // (CascadeConfig::max_messages) caps what it can fix.
+  EXPECT_GT(m.mean_kar, 0.7);
+}
+
+TEST(HanBaseline, CascadeLeakageLowersNetRate) {
+  // Han's KGR (net of parity leakage) must be below the gross quantized
+  // bit rate of ~64 bits per block.
+  const auto rounds = make_trace(400);
+  const auto m = HanV2V().run(rounds, round_duration());
+  const double gross =
+      static_cast<double>(m.blocks) * static_cast<double>(HanConfig{}.key_block_bits) /
+      (static_cast<double>(rounds.size()) * round_duration());
+  EXPECT_LT(m.kgr_bits_per_s, gross);
+}
+
+TEST(GaoBaseline, ProducesReasonableMetrics) {
+  const auto rounds = make_trace(600);
+  GaoModel gao;
+  const auto m = gao.run(rounds, round_duration());
+  EXPECT_EQ(m.name, "Gao et al.");
+  EXPECT_GT(m.blocks, 0u);
+  EXPECT_GT(m.mean_kar, 0.5);
+}
+
+TEST(GaoBaseline, ConfigValidated) {
+  GaoConfig bad;
+  bad.interval = 1;
+  EXPECT_THROW(GaoModel{bad}, vkey::Error);
+}
+
+TEST(Baselines, AllUsePrssiSoKgrIsLow) {
+  // The structural claim behind Fig. 13: one pRSSI per probe exchange caps
+  // every baseline's KGR around (bits_per_block / block_rounds) /
+  // round_duration — single-digit bits per second at most.
+  const auto rounds = make_trace(500);
+  const double dur = round_duration();
+  for (double kgr : {LoRaKey().run(rounds, dur).kgr_bits_per_s,
+                     HanV2V().run(rounds, dur).kgr_bits_per_s,
+                     GaoModel().run(rounds, dur).kgr_bits_per_s}) {
+    EXPECT_LT(kgr, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace vkey::baselines

@@ -1,0 +1,168 @@
+#include "channel/fading.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace vkey::channel {
+namespace {
+
+TEST(PathLoss, LogDistanceSlope) {
+  const double pl100 = path_loss_db(100.0, 2.0, 25.0);
+  const double pl1000 = path_loss_db(1000.0, 2.0, 25.0);
+  EXPECT_NEAR(pl1000 - pl100, 20.0, 1e-9);  // 10*n dB per decade
+}
+
+TEST(PathLoss, ClampedBelowOneMetre) {
+  EXPECT_DOUBLE_EQ(path_loss_db(0.1, 2.0, 25.0), 25.0);
+}
+
+TEST(PathLoss, RejectsBadExponent) {
+  EXPECT_THROW(path_loss_db(10.0, 0.0, 25.0), vkey::Error);
+}
+
+TEST(SumOfSinusoidsRing, UnitAveragePower) {
+  vkey::Rng rng(1);
+  SumOfSinusoidsRing ring(24, rng);
+  double power = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    power += std::norm(ring.advance(0.01, 10.0));
+  }
+  EXPECT_NEAR(power / n, 1.0, 0.1);
+}
+
+TEST(SumOfSinusoidsRing, FrozenWhenDopplerZero) {
+  vkey::Rng rng(2);
+  SumOfSinusoidsRing ring(16, rng);
+  const auto g0 = ring.advance(1.0, 0.0);
+  const auto g1 = ring.advance(1.0, 0.0);
+  EXPECT_NEAR(std::abs(g0 - g1), 0.0, 1e-12);
+}
+
+TEST(SumOfSinusoidsRing, DecorrelatesOverTime) {
+  vkey::Rng rng(3);
+  SumOfSinusoidsRing ring(32, rng);
+  // Autocorrelation of samples far beyond the coherence time is low.
+  std::vector<double> a, b;
+  const double fd = 20.0;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(ring.advance(0.005, fd).real());  // sampled at 200 Hz
+  }
+  for (std::size_t i = 0; i + 200 < a.size(); ++i) b.push_back(a[i + 200]);
+  a.resize(b.size());
+  EXPECT_LT(std::fabs(vkey::stats::pearson(a, b)), 0.4);
+}
+
+TEST(SumOfSinusoidsRing, RequiresEnoughRays) {
+  vkey::Rng rng(4);
+  EXPECT_THROW(SumOfSinusoidsRing(2, rng), vkey::Error);
+}
+
+TEST(SmallScaleFading, StationaryMeanPowerNearZeroDb) {
+  SmallScaleFading fade({.rays = 24}, vkey::Rng(5));
+  double sum_linear = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    sum_linear += std::pow(10.0, fade.advance_db(0.01, 15.0, 15.0, 1.0) / 10.0);
+  }
+  EXPECT_NEAR(10.0 * std::log10(sum_linear / n), 0.0, 1.0);
+}
+
+TEST(SmallScaleFading, RicianReducesVariance) {
+  SmallScaleFading rayleigh({.rays = 24, .rician_k_db = -100.0},
+                            vkey::Rng(6));
+  SmallScaleFading rician({.rays = 24, .rician_k_db = 10.0}, vkey::Rng(6));
+  std::vector<double> vr, vk;
+  for (int i = 0; i < 20000; ++i) {
+    vr.push_back(rayleigh.advance_db(0.01, 15.0, 15.0, 1.0));
+    vk.push_back(rician.advance_db(0.01, 15.0, 15.0, 1.0));
+  }
+  EXPECT_GT(vkey::stats::stddev(vr), 2.0 * vkey::stats::stddev(vk));
+}
+
+TEST(SmallScaleFading, SlowComponentOutlivesFast) {
+  // With a tiny slow_scale, samples a short lag apart stay correlated even
+  // though the geometric Doppler would decorrelate them.
+  SmallScaleFading fade({.rays = 24, .slow_scale = 0.005, .fast_weight = 0.0},
+                        vkey::Rng(7));
+  std::vector<double> x;
+  for (int i = 0; i < 6000; ++i) {
+    x.push_back(fade.advance_db(0.01, 20.0, 20.0, 0.0));
+  }
+  std::vector<double> lead(x.begin(), x.end() - 10);
+  std::vector<double> lag(x.begin() + 10, x.end());  // lag = 0.1 s
+  EXPECT_GT(vkey::stats::pearson(lead, lag), 0.9);
+}
+
+TEST(SmallScaleFading, ConfigValidation) {
+  EXPECT_THROW(SmallScaleFading({.fast_weight = 1.5}, vkey::Rng(8)),
+               vkey::Error);
+  EXPECT_THROW(SmallScaleFading({.slow_scale = 0.0}, vkey::Rng(8)),
+               vkey::Error);
+}
+
+TEST(Shadowing, StationaryStdMatchesSigma) {
+  ShadowingProcess sh(6.0, 20.0, vkey::Rng(9));
+  std::vector<double> v;
+  for (int i = 0; i < 30000; ++i) v.push_back(sh.advance(5.0));
+  EXPECT_NEAR(vkey::stats::stddev(v), 6.0, 0.5);
+  EXPECT_NEAR(vkey::stats::mean(v), 0.0, 0.3);
+}
+
+TEST(Shadowing, GudmundsonDecorrelation) {
+  ShadowingProcess sh(6.0, 50.0, vkey::Rng(10));
+  std::vector<double> x;
+  for (int i = 0; i < 30000; ++i) x.push_back(sh.advance(1.0));
+  // Empirical lag-50 m correlation ~ exp(-1) = 0.37.
+  std::vector<double> lead(x.begin(), x.end() - 50);
+  std::vector<double> lag(x.begin() + 50, x.end());
+  EXPECT_NEAR(vkey::stats::pearson(lead, lag), std::exp(-1.0), 0.08);
+}
+
+TEST(Shadowing, ZeroStepKeepsValue) {
+  ShadowingProcess sh(6.0, 20.0, vkey::Rng(11));
+  const double v = sh.advance(10.0);
+  EXPECT_DOUBLE_EQ(sh.advance(0.0), v);
+}
+
+TEST(Shadowing, RejectsNegativeStep) {
+  ShadowingProcess sh(6.0, 20.0, vkey::Rng(12));
+  EXPECT_THROW(sh.advance(-1.0), vkey::Error);
+}
+
+TEST(CorrelatedShadowing, TracksReferenceAtHighRho) {
+  ShadowingProcess ref(6.0, 20.0, vkey::Rng(13));
+  CorrelatedShadowing eve(0.95, 6.0, 20.0, vkey::Rng(14));
+  std::vector<double> a, b;
+  for (int i = 0; i < 20000; ++i) {
+    const double r = ref.advance(2.0);
+    a.push_back(r);
+    b.push_back(eve.advance(2.0, r));
+  }
+  EXPECT_GT(vkey::stats::pearson(a, b), 0.9);
+}
+
+TEST(CorrelatedShadowing, IndependentAtRhoZero) {
+  ShadowingProcess ref(6.0, 20.0, vkey::Rng(15));
+  CorrelatedShadowing eve(0.0, 6.0, 20.0, vkey::Rng(16));
+  std::vector<double> a, b;
+  for (int i = 0; i < 20000; ++i) {
+    const double r = ref.advance(2.0);
+    a.push_back(r);
+    b.push_back(eve.advance(2.0, r));
+  }
+  EXPECT_LT(std::fabs(vkey::stats::pearson(a, b)), 0.1);
+}
+
+TEST(CorrelatedShadowing, RhoValidated) {
+  EXPECT_THROW(CorrelatedShadowing(1.5, 6.0, 20.0, vkey::Rng(17)),
+               vkey::Error);
+}
+
+}  // namespace
+}  // namespace vkey::channel

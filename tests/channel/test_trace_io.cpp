@@ -1,0 +1,97 @@
+#include "channel/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vkey::channel {
+namespace {
+
+std::vector<ProbeRound> make_rounds(std::size_t n) {
+  TraceConfig cfg;
+  cfg.scenario = make_scenario(ScenarioKind::kV2VUrban, 50.0);
+  cfg.seed = 12;
+  TraceGenerator gen(cfg);
+  return gen.generate(n);
+}
+
+TEST(TraceIo, RoundTripPreservesObservations) {
+  const auto rounds = make_rounds(5);
+  std::stringstream buf;
+  write_trace_csv(buf, rounds);
+  const auto back = read_trace_csv(buf);
+  ASSERT_EQ(back.size(), rounds.size());
+  for (std::size_t r = 0; r < rounds.size(); ++r) {
+    EXPECT_EQ(back[r].bob_rx.rrssi, rounds[r].bob_rx.rrssi);
+    EXPECT_EQ(back[r].alice_rx.rrssi, rounds[r].alice_rx.rrssi);
+    EXPECT_EQ(back[r].eve_rx_bob_tx.rrssi, rounds[r].eve_rx_bob_tx.rrssi);
+    EXPECT_DOUBLE_EQ(back[r].bob_rx.t_start, rounds[r].bob_rx.t_start);
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto rounds = make_rounds(3);
+  const std::string path = std::string(::testing::TempDir()) + "/trace.csv";
+  save_trace_csv(path, rounds);
+  const auto back = load_trace_csv(path);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[2].alice_rx.rrssi, rounds[2].alice_rx.rrssi);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsEmptyInput) {
+  std::stringstream buf;
+  EXPECT_THROW(read_trace_csv(buf), vkey::Error);
+}
+
+TEST(TraceIo, RejectsWrongHeader) {
+  std::stringstream buf("time,rssi\n0,1\n");
+  EXPECT_THROW(read_trace_csv(buf), vkey::Error);
+}
+
+TEST(TraceIo, RejectsMalformedRow) {
+  std::stringstream buf("round,observer,symbol,t_start,rssi_dbm\n0,bob_rx\n");
+  EXPECT_THROW(read_trace_csv(buf), vkey::Error);
+}
+
+TEST(TraceIo, RejectsNonNumericFields) {
+  std::stringstream buf(
+      "round,observer,symbol,t_start,rssi_dbm\n0,bob_rx,zero,0.0,-80\n");
+  EXPECT_THROW(read_trace_csv(buf), vkey::Error);
+}
+
+TEST(TraceIo, RejectsUnknownObserver) {
+  std::stringstream buf(
+      "round,observer,symbol,t_start,rssi_dbm\n0,mallory_rx,0,0.0,-80\n");
+  EXPECT_THROW(read_trace_csv(buf), vkey::Error);
+}
+
+TEST(TraceIo, RejectsOutOfOrderSymbols) {
+  std::stringstream buf(
+      "round,observer,symbol,t_start,rssi_dbm\n0,bob_rx,1,0.0,-80\n");
+  EXPECT_THROW(read_trace_csv(buf), vkey::Error);
+}
+
+TEST(TraceIo, RejectsRoundMissingLegitimateObserver) {
+  std::stringstream buf(
+      "round,observer,symbol,t_start,rssi_dbm\n0,bob_rx,0,0.0,-80\n");
+  EXPECT_THROW(read_trace_csv(buf), vkey::Error);
+}
+
+TEST(TraceIo, HardwareCaptureWithoutEveIsRejectedButDiagnosable) {
+  // A capture tool without an Eve receiver produces rounds with only the
+  // two legitimate observers — those are accepted (Eve observations empty).
+  std::stringstream buf(
+      "round,observer,symbol,t_start,rssi_dbm\n"
+      "0,bob_rx,0,0.0,-80\n0,bob_rx,1,0.0,-81\n"
+      "0,alice_rx,0,1.7,-79\n0,alice_rx,1,1.7,-80\n");
+  const auto rounds = read_trace_csv(buf);
+  ASSERT_EQ(rounds.size(), 1u);
+  EXPECT_EQ(rounds[0].bob_rx.rrssi.size(), 2u);
+  EXPECT_TRUE(rounds[0].eve_rx_bob_tx.rrssi.empty());
+}
+
+}  // namespace
+}  // namespace vkey::channel

@@ -1,0 +1,111 @@
+#include "common/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace vkey::fftmod {
+namespace {
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(17), 32u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+}
+
+TEST(Fft, NextPow2Domain) { EXPECT_THROW(next_pow2(0), vkey::Error); }
+
+TEST(Fft, RequiresPowerOfTwo) {
+  std::vector<std::complex<double>> data(3);
+  EXPECT_THROW(fft(data), vkey::Error);
+}
+
+TEST(Fft, DcSignal) {
+  std::vector<std::complex<double>> data(8, {1.0, 0.0});
+  fft(data);
+  EXPECT_NEAR(data[0].real(), 8.0, 1e-12);
+  for (std::size_t k = 1; k < 8; ++k) {
+    EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  std::vector<std::complex<double>> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = {std::cos(2.0 * M_PI * 5.0 * static_cast<double>(i) /
+                        static_cast<double>(n)),
+               0.0};
+  }
+  fft(data);
+  EXPECT_NEAR(std::abs(data[5]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[n - 5]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[3]), 0.0, 1e-9);
+}
+
+TEST(Fft, ForwardInverseRoundTrip) {
+  vkey::Rng rng(9);
+  const std::size_t n = 128;
+  std::vector<std::complex<double>> data(n), orig(n);
+  for (auto& v : data) v = {rng.gaussian(), rng.gaussian()};
+  orig = data;
+  fft(data, false);
+  fft(data, true);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(data[i].real() / static_cast<double>(n), orig[i].real(),
+                1e-10);
+    EXPECT_NEAR(data[i].imag() / static_cast<double>(n), orig[i].imag(),
+                1e-10);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  vkey::Rng rng(10);
+  const std::size_t n = 256;
+  std::vector<std::complex<double>> data(n);
+  double time_energy = 0.0;
+  for (auto& v : data) {
+    v = {rng.gaussian(), 0.0};
+    time_energy += std::norm(v);
+  }
+  fft(data);
+  double freq_energy = 0.0;
+  for (const auto& v : data) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-8);
+}
+
+TEST(Fft, RealHelperPadsToPow2) {
+  const std::vector<double> x(100, 1.0);
+  const auto spectrum = fft_real(x);
+  EXPECT_EQ(spectrum.size(), 128u);
+  EXPECT_NEAR(spectrum[0].real(), 100.0, 1e-10);
+}
+
+TEST(Fft, RealHelperRejectsEmpty) {
+  EXPECT_THROW(fft_real({}), vkey::Error);
+}
+
+TEST(Fft, LinearityProperty) {
+  vkey::Rng rng(11);
+  const std::size_t n = 32;
+  std::vector<std::complex<double>> a(n), b(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = {rng.gaussian(), 0.0};
+    b[i] = {rng.gaussian(), 0.0};
+    sum[i] = a[i] + b[i];
+  }
+  fft(a);
+  fft(b);
+  fft(sum);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(sum[i] - (a[i] + b[i])), 0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace vkey::fftmod

@@ -1,0 +1,124 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace vkey {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntBoundedAndCoversRange) {
+  Rng rng(13);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(10);
+    ASSERT_LT(v, 10u);
+    ++seen[static_cast<std::size_t>(v)];
+  }
+  for (int c : seen) EXPECT_GT(c, 800);  // roughly uniform
+}
+
+TEST(Rng, UniformIntOne) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(1), 0u);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaleShift) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(29);
+  Rng child = a.fork(1);
+  // The fork must not replay the parent's stream.
+  Rng b(29);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += child.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Splitmix64, KnownSequenceIsStable) {
+  std::uint64_t s = 0;
+  const std::uint64_t first = splitmix64(s);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), first);
+  EXPECT_NE(splitmix64(s2), first);  // second draw differs
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine64(1, 2), hash_combine64(2, 1));
+}
+
+}  // namespace
+}  // namespace vkey

@@ -1,0 +1,89 @@
+#include "common/special.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vkey::special {
+namespace {
+
+TEST(Special, ErfcKnownValues) {
+  EXPECT_NEAR(erfc(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(erfc(1.0), 0.15729920705028513, 1e-10);
+  EXPECT_NEAR(erfc(-1.0), 2.0 - 0.15729920705028513, 1e-10);
+}
+
+TEST(Special, LgammaMatchesFactorials) {
+  // Gamma(n) = (n-1)!
+  EXPECT_NEAR(lgamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(lgamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(lgamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(lgamma(10.0), std::log(362880.0), 1e-8);
+}
+
+TEST(Special, LgammaHalf) {
+  // Gamma(1/2) = sqrt(pi)
+  EXPECT_NEAR(lgamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+}
+
+TEST(Special, LgammaDomain) { EXPECT_THROW(lgamma(0.0), vkey::Error); }
+
+TEST(Special, IgamComplementarity) {
+  for (double a : {0.5, 1.0, 3.0, 10.0}) {
+    for (double x : {0.1, 1.0, 5.0, 20.0}) {
+      EXPECT_NEAR(igam(a, x) + igamc(a, x), 1.0, 1e-10)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(Special, IgamcExponentialSpecialCase) {
+  // Q(1, x) = exp(-x).
+  for (double x : {0.1, 1.0, 2.5, 7.0}) {
+    EXPECT_NEAR(igamc(1.0, x), std::exp(-x), 1e-10);
+  }
+}
+
+TEST(Special, IgamAtZero) {
+  EXPECT_NEAR(igam(2.0, 0.0), 0.0, 1e-12);
+  EXPECT_NEAR(igamc(2.0, 0.0), 1.0, 1e-12);
+}
+
+TEST(Special, IgamcChiSquaredKnownValue) {
+  // Chi-squared survival: P(X > x) with k dof = igamc(k/2, x/2).
+  // For k = 2, x = 5.991: p = 0.05.
+  EXPECT_NEAR(igamc(1.0, 5.991 / 2.0), 0.05, 1e-3);
+  // For k = 3, x = 7.815: p = 0.05.
+  EXPECT_NEAR(igamc(1.5, 7.815 / 2.0), 0.05, 1e-3);
+}
+
+TEST(Special, IgamMonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x < 10.0; x += 0.5) {
+    const double v = igam(3.0, x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Special, IgamDomainChecks) {
+  EXPECT_THROW(igam(-1.0, 1.0), vkey::Error);
+  EXPECT_THROW(igamc(1.0, -1.0), vkey::Error);
+}
+
+TEST(Special, NormalCdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-8);
+  EXPECT_NEAR(normal_cdf(-1.959963985), 0.025, 1e-8);
+}
+
+TEST(Special, NormalCdfSymmetry) {
+  for (double x : {0.3, 1.1, 2.7}) {
+    EXPECT_NEAR(normal_cdf(x) + normal_cdf(-x), 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace vkey::special

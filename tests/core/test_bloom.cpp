@@ -1,0 +1,94 @@
+#include "core/bloom.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace vkey::core {
+namespace {
+
+BitVec random_key(std::size_t n, std::uint64_t seed) {
+  vkey::Rng rng(seed);
+  BitVec k(n);
+  for (std::size_t i = 0; i < n; ++i) k.set(i, rng.bernoulli(0.5));
+  return k;
+}
+
+TEST(Bloom, InvertibleForLegitimateParties) {
+  PositionPreservingBloom bloom(64, 0xabc);
+  const BitVec k = random_key(64, 1);
+  EXPECT_EQ(bloom.invert(bloom.apply(k)), k);
+}
+
+TEST(Bloom, PreservesHammingDistanceExactly) {
+  // The paper's requirement: "its output can retain the same number of
+  // mismatched bits as the input key".
+  PositionPreservingBloom bloom(128, 0xdef);
+  vkey::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const BitVec a = random_key(128, 100 + static_cast<std::uint64_t>(trial));
+    BitVec b = a;
+    const auto flips = 1 + rng.uniform_int(20);
+    for (std::uint64_t f = 0; f < flips; ++f) {
+      b.flip(static_cast<std::size_t>(rng.uniform_int(128)));
+    }
+    EXPECT_EQ(bloom.apply(a).hamming_distance(bloom.apply(b)),
+              a.hamming_distance(b));
+  }
+}
+
+TEST(Bloom, OutputLooksUnlikeInput) {
+  PositionPreservingBloom bloom(64, 0x123);
+  const BitVec k = random_key(64, 3);
+  const BitVec mapped = bloom.apply(k);
+  EXPECT_NE(mapped, k);
+  // Roughly half the positions should differ (pad is random).
+  const auto d = mapped.hamming_distance(k);
+  EXPECT_GT(d, 16u);
+  EXPECT_LT(d, 48u);
+}
+
+TEST(Bloom, DifferentSessionsDifferentMappings) {
+  PositionPreservingBloom b1(64, 1), b2(64, 2);
+  const BitVec k = random_key(64, 4);
+  EXPECT_NE(b1.apply(k), b2.apply(k));
+}
+
+TEST(Bloom, SameSessionIsDeterministic) {
+  PositionPreservingBloom b1(64, 42), b2(64, 42);
+  const BitVec k = random_key(64, 5);
+  EXPECT_EQ(b1.apply(k), b2.apply(k));
+}
+
+TEST(Bloom, MismatchMapsBackThroughPermutation) {
+  // Correcting in K'-space then inverting equals correcting in K-space:
+  // delta' = K'_A ^ K'_B  =>  map_mismatch_back(delta') = K_A ^ K_B.
+  PositionPreservingBloom bloom(64, 0x777);
+  const BitVec ka = random_key(64, 6);
+  BitVec kb = ka;
+  kb.flip(3);
+  kb.flip(40);
+  const BitVec delta_mapped = bloom.apply(ka) ^ bloom.apply(kb);
+  EXPECT_EQ(bloom.map_mismatch_back(delta_mapped), ka ^ kb);
+}
+
+TEST(Bloom, EndToEndCorrectionThroughMap) {
+  PositionPreservingBloom bloom(64, 0x999);
+  const BitVec ka = random_key(64, 7);
+  BitVec kb = ka;
+  kb.flip(10);
+  // Alice learns the mapped-domain mismatch, maps it back, corrects.
+  const BitVec delta = bloom.map_mismatch_back(bloom.apply(ka) ^ bloom.apply(kb));
+  EXPECT_EQ(ka ^ delta, kb);
+}
+
+TEST(Bloom, SizeValidation) {
+  EXPECT_THROW(PositionPreservingBloom(1, 0), vkey::Error);
+  PositionPreservingBloom bloom(64, 0);
+  EXPECT_THROW(bloom.apply(BitVec(32)), vkey::Error);
+  EXPECT_THROW(bloom.invert(BitVec(32)), vkey::Error);
+}
+
+}  // namespace
+}  // namespace vkey::core

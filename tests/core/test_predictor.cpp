@@ -1,0 +1,149 @@
+#include "core/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "nn/serialize.h"
+
+namespace vkey::core {
+namespace {
+
+PredictorConfig tiny_config() {
+  PredictorConfig cfg;
+  cfg.seq_len = 16;
+  cfg.hidden = 6;
+  cfg.key_bits = 16;
+  cfg.seed = 3;
+  return cfg;
+}
+
+// A synthetic task with a learnable mapping: Bob's sequence is a smoothed,
+// slightly shifted copy of Alice's; his bits are a median threshold of it.
+std::vector<TrainingSample> synthetic_samples(const PredictorConfig& cfg,
+                                              std::size_t n,
+                                              std::uint64_t seed) {
+  vkey::Rng rng(seed);
+  std::vector<TrainingSample> out;
+  for (std::size_t s = 0; s < n; ++s) {
+    TrainingSample ts;
+    ts.alice_seq.resize(cfg.seq_len);
+    ts.bob_seq.resize(cfg.seq_len);
+    ts.eve_seq.resize(cfg.seq_len);
+    double walk = 0.5;
+    for (std::size_t t = 0; t < cfg.seq_len; ++t) {
+      walk = 0.8 * walk + 0.2 * rng.uniform();
+      ts.alice_seq[t] = walk;
+      ts.eve_seq[t] = rng.uniform();
+    }
+    for (std::size_t t = 0; t < cfg.seq_len; ++t) {
+      const std::size_t prev = t > 0 ? t - 1 : 0;
+      ts.bob_seq[t] = 0.5 * ts.alice_seq[t] + 0.5 * ts.alice_seq[prev];
+    }
+    // 1 bit per value via a fixed threshold (directly learnable).
+    ts.bob_bits = BitVec(cfg.key_bits);
+    for (std::size_t t = 0; t < cfg.key_bits; ++t) {
+      ts.bob_bits.set(t, ts.bob_seq[t] > 0.5);
+    }
+    out.push_back(std::move(ts));
+  }
+  return out;
+}
+
+TEST(Predictor, ConfigValidated) {
+  PredictorConfig bad = tiny_config();
+  bad.seq_len = 2;
+  EXPECT_THROW(PredictorQuantizer{bad}, vkey::Error);
+  bad = tiny_config();
+  bad.theta = 1.5;
+  EXPECT_THROW(PredictorQuantizer{bad}, vkey::Error);
+}
+
+TEST(Predictor, OutputShapes) {
+  const PredictorConfig cfg = tiny_config();
+  PredictorQuantizer p(cfg);
+  const auto out = p.infer(nn::Vec(cfg.seq_len, 0.5));
+  EXPECT_EQ(out.predicted_seq.size(), cfg.seq_len);
+  EXPECT_EQ(out.probabilities.size(), cfg.key_bits);
+  EXPECT_EQ(out.bits.size(), cfg.key_bits);
+  for (double pr : out.probabilities) {
+    EXPECT_GT(pr, 0.0);
+    EXPECT_LT(pr, 1.0);
+  }
+}
+
+TEST(Predictor, InputSizeChecked) {
+  PredictorQuantizer p(tiny_config());
+  EXPECT_THROW(p.infer(nn::Vec(3, 0.0)), vkey::Error);
+}
+
+TEST(Predictor, TrainingReducesLoss) {
+  const PredictorConfig cfg = tiny_config();
+  PredictorQuantizer p(cfg);
+  const auto samples = synthetic_samples(cfg, 80, 11);
+  const double before = p.evaluate_loss(samples);
+  const auto report = p.train(samples, 30);
+  ASSERT_EQ(report.epoch_loss.size(), 30u);
+  EXPECT_LT(p.evaluate_loss(samples), before * 0.8);
+  EXPECT_LT(report.final_loss, report.epoch_loss.front());
+}
+
+TEST(Predictor, LearnsSyntheticMapping) {
+  const PredictorConfig cfg = tiny_config();
+  PredictorQuantizer p(cfg);
+  const auto train = synthetic_samples(cfg, 250, 13);
+  const auto test = synthetic_samples(cfg, 20, 14);
+  p.train(train, 40);
+  double agree = 0.0;
+  for (const auto& s : test) {
+    agree += p.infer(s.alice_seq).bits.agreement(s.bob_bits);
+  }
+  EXPECT_GT(agree / static_cast<double>(test.size()), 0.8);
+}
+
+TEST(Predictor, DeterministicForSameSeed) {
+  const PredictorConfig cfg = tiny_config();
+  PredictorQuantizer a(cfg), b(cfg);
+  const auto samples = synthetic_samples(cfg, 30, 15);
+  a.train(samples, 3);
+  b.train(samples, 3);
+  const nn::Vec x(cfg.seq_len, 0.3);
+  EXPECT_EQ(a.infer(x).bits, b.infer(x).bits);
+}
+
+TEST(Predictor, SnapshotRestoreTransfersModel) {
+  const PredictorConfig cfg = tiny_config();
+  PredictorQuantizer a(cfg);
+  const auto samples = synthetic_samples(cfg, 60, 16);
+  a.train(samples, 10);
+  PredictorQuantizer b(cfg);
+  nn::restore(b.parameters(), nn::snapshot(a.parameters()));
+  const nn::Vec x(cfg.seq_len, 0.7);
+  EXPECT_EQ(a.infer(x).bits, b.infer(x).bits);
+}
+
+TEST(Predictor, EvaluateLossMatchesTrainingScale) {
+  const PredictorConfig cfg = tiny_config();
+  PredictorQuantizer p(cfg);
+  const auto samples = synthetic_samples(cfg, 20, 17);
+  const double before = p.evaluate_loss(samples);
+  p.train(samples, 15);
+  EXPECT_LT(p.evaluate_loss(samples), before);
+}
+
+TEST(Predictor, TrainRequiresSamples) {
+  PredictorQuantizer p(tiny_config());
+  EXPECT_THROW(p.train({}, 1), vkey::Error);
+}
+
+TEST(Predictor, SampleShapeChecked) {
+  const PredictorConfig cfg = tiny_config();
+  PredictorQuantizer p(cfg);
+  TrainingSample bad;
+  bad.alice_seq.assign(cfg.seq_len - 1, 0.0);
+  bad.bob_seq.assign(cfg.seq_len, 0.0);
+  bad.bob_bits = BitVec(cfg.key_bits);
+  EXPECT_THROW(p.train(std::vector<TrainingSample>{bad}, 1), vkey::Error);
+}
+
+}  // namespace
+}  // namespace vkey::core

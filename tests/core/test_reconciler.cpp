@@ -1,0 +1,166 @@
+#include "core/reconciler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace vkey::core {
+namespace {
+
+ReconcilerConfig fast_config() {
+  ReconcilerConfig cfg;
+  cfg.key_bits = 64;
+  cfg.code_dim = 32;
+  cfg.decoder_units = 64;
+  cfg.seed = 21;
+  return cfg;
+}
+
+BitVec random_key(std::size_t n, vkey::Rng& rng) {
+  BitVec k(n);
+  for (std::size_t i = 0; i < n; ++i) k.set(i, rng.bernoulli(0.5));
+  return k;
+}
+
+class ReconcilerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    reconciler_ = new AutoencoderReconciler(fast_config());
+    reconciler_->train(2500, 25);
+  }
+  static void TearDownTestSuite() {
+    delete reconciler_;
+    reconciler_ = nullptr;
+  }
+  static AutoencoderReconciler* reconciler_;
+};
+
+AutoencoderReconciler* ReconcilerTest::reconciler_ = nullptr;
+
+TEST_F(ReconcilerTest, NoMismatchIsFixedPoint) {
+  vkey::Rng rng(1);
+  const BitVec k = random_key(64, rng);
+  const auto y = reconciler_->encode_bob(k);
+  EXPECT_EQ(reconciler_->reconcile(k, y), k);
+  const auto d = reconciler_->decode_mismatch(k, y);
+  EXPECT_EQ(d.mismatch.weight(), 0u);
+}
+
+TEST_F(ReconcilerTest, CorrectsSingleFlip) {
+  vkey::Rng rng(2);
+  int success = 0;
+  const int trials = 20;
+  for (int trial = 0; trial < trials; ++trial) {
+    const BitVec kb = random_key(64, rng);
+    BitVec ka = kb;
+    ka.flip(static_cast<std::size_t>(rng.uniform_int(64)));
+    success += reconciler_->reconcile(ka, reconciler_->encode_bob(kb)) == kb;
+  }
+  EXPECT_GE(success, trials - 1);
+}
+
+TEST_F(ReconcilerTest, CorrectsModerateMismatch) {
+  vkey::Rng rng(3);
+  int success = 0;
+  const int trials = 40;
+  for (int trial = 0; trial < trials; ++trial) {
+    const BitVec kb = random_key(64, rng);
+    BitVec ka = kb;
+    for (std::size_t i = 0; i < 64; ++i) {
+      if (rng.bernoulli(0.05)) ka.flip(i);
+    }
+    success +=
+        reconciler_->reconcile(ka, reconciler_->encode_bob(kb)) == kb;
+  }
+  EXPECT_GE(success, trials * 6 / 10);
+}
+
+TEST_F(ReconcilerTest, ImprovesAgreementAtHighBer) {
+  vkey::Rng rng(4);
+  double pre = 0.0, post = 0.0;
+  const int trials = 30;
+  for (int trial = 0; trial < trials; ++trial) {
+    const BitVec kb = random_key(64, rng);
+    BitVec ka = kb;
+    for (std::size_t i = 0; i < 64; ++i) {
+      if (rng.bernoulli(0.10)) ka.flip(i);
+    }
+    pre += ka.agreement(kb);
+    post += reconciler_->reconcile(ka, reconciler_->encode_bob(kb))
+                .agreement(kb);
+  }
+  EXPECT_GT(post / trials, pre / trials + 0.03);
+}
+
+TEST_F(ReconcilerTest, UncorrelatedKeyGainsNothingOneShot) {
+  // The paper's eavesdropping attack: feeding the syndrome to the decoder
+  // with unrelated key material must stay near 50% agreement.
+  vkey::Rng rng(5);
+  double agree = 0.0;
+  const int trials = 30;
+  for (int trial = 0; trial < trials; ++trial) {
+    const BitVec kb = random_key(64, rng);
+    const BitVec ke = random_key(64, rng);
+    agree += reconciler_->reconcile_one_shot(ke, reconciler_->encode_bob(kb))
+                 .agreement(kb);
+  }
+  EXPECT_NEAR(agree / trials, 0.5, 0.1);
+}
+
+TEST_F(ReconcilerTest, SyndromeHasCodeDim) {
+  vkey::Rng rng(6);
+  EXPECT_EQ(reconciler_->encode_bob(random_key(64, rng)).size(), 32u);
+}
+
+TEST_F(ReconcilerTest, IterationsReported) {
+  vkey::Rng rng(7);
+  const BitVec kb = random_key(64, rng);
+  BitVec ka = kb;
+  ka.flip(5);
+  ka.flip(30);
+  const auto d = reconciler_->decode_mismatch(ka, reconciler_->encode_bob(kb));
+  EXPECT_GE(d.iterations, 2u);
+  EXPECT_LE(d.iterations, fast_config().max_decode_iterations);
+}
+
+TEST_F(ReconcilerTest, InputWidthsChecked) {
+  vkey::Rng rng(8);
+  EXPECT_THROW(reconciler_->encode_bob(BitVec(32)), vkey::Error);
+  const auto y = reconciler_->encode_bob(random_key(64, rng));
+  EXPECT_THROW(reconciler_->reconcile(BitVec(32), y), vkey::Error);
+  EXPECT_THROW(reconciler_->reconcile(random_key(64, rng),
+                                      std::vector<double>(5)),
+               vkey::Error);
+}
+
+TEST(Reconciler, FlopAccounting) {
+  const ReconcilerConfig cfg = fast_config();
+  AutoencoderReconciler r(cfg);
+  // Alice: encoder 64*32 + decoder 32*64 + 64*64 + 64*64 + 64*64.
+  const std::size_t expect = 64 * 32 + 32 * 64 + 64 * 64 + 64 * 64 + 64 * 64;
+  EXPECT_EQ(r.decode_flops(), expect);
+  EXPECT_EQ(r.encode_flops(), 64u * 32u);
+}
+
+TEST(Reconciler, ConfigValidated) {
+  ReconcilerConfig bad = fast_config();
+  bad.key_bits = 4;
+  EXPECT_THROW(AutoencoderReconciler{bad}, vkey::Error);
+  bad = fast_config();
+  bad.train_ber_lo = 0.3;
+  bad.train_ber_hi = 0.2;
+  EXPECT_THROW(AutoencoderReconciler{bad}, vkey::Error);
+}
+
+TEST(Reconciler, MoreUnitsMoreFlops) {
+  ReconcilerConfig small = fast_config();
+  small.decoder_units = 16;
+  ReconcilerConfig big = fast_config();
+  big.decoder_units = 128;
+  EXPECT_LT(AutoencoderReconciler(small).decode_flops(),
+            AutoencoderReconciler(big).decode_flops());
+}
+
+}  // namespace
+}  // namespace vkey::core

@@ -1,0 +1,65 @@
+#include "crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+namespace vkey::crypto {
+namespace {
+
+std::vector<std::uint8_t> bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+std::string hex_of(const std::array<std::uint8_t, 32>& d) {
+  return to_hex(d.data(), d.size());
+}
+
+// RFC 4231 test cases.
+TEST(Hmac, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  EXPECT_EQ(hex_of(hmac_sha256(key, bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(
+      hex_of(hmac_sha256(bytes("Jefe"),
+                         bytes("what do ya want for nothing?"))),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const std::vector<std::uint8_t> key(20, 0xaa);
+  const std::vector<std::uint8_t> msg(50, 0xdd);
+  EXPECT_EQ(hex_of(hmac_sha256(key, msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  EXPECT_EQ(hex_of(hmac_sha256(
+                key, bytes("Test Using Larger Than Block-Size Key - "
+                           "Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, DifferentKeysDifferentTags) {
+  const auto t1 = hmac_sha256(bytes("k1"), bytes("m"));
+  const auto t2 = hmac_sha256(bytes("k2"), bytes("m"));
+  EXPECT_NE(to_hex(t1.data(), 32), to_hex(t2.data(), 32));
+}
+
+TEST(Hmac, DifferentMessagesDifferentTags) {
+  const auto t1 = hmac_sha256(bytes("k"), bytes("m1"));
+  const auto t2 = hmac_sha256(bytes("k"), bytes("m2"));
+  EXPECT_NE(to_hex(t1.data(), 32), to_hex(t2.data(), 32));
+}
+
+TEST(ConstantTimeEqual, Basics) {
+  EXPECT_TRUE(constant_time_equal({1, 2, 3}, {1, 2, 3}));
+  EXPECT_FALSE(constant_time_equal({1, 2, 3}, {1, 2, 4}));
+  EXPECT_FALSE(constant_time_equal({1, 2}, {1, 2, 3}));
+  EXPECT_TRUE(constant_time_equal({}, {}));
+}
+
+}  // namespace
+}  // namespace vkey::crypto

@@ -1,0 +1,108 @@
+#include "ecc/gf.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vkey::ecc {
+namespace {
+
+TEST(GaloisField, OrderAndBounds) {
+  GaloisField gf(7);
+  EXPECT_EQ(gf.order(), 127);
+  EXPECT_THROW(GaloisField(2), vkey::Error);
+  EXPECT_THROW(GaloisField(13), vkey::Error);
+}
+
+TEST(GaloisField, ExpLogInverse) {
+  GaloisField gf(7);
+  for (int x = 1; x <= gf.order(); ++x) {
+    EXPECT_EQ(gf.exp(gf.log(x)), x);
+  }
+  for (int i = 0; i < gf.order(); ++i) {
+    EXPECT_EQ(gf.log(gf.exp(i)), i);
+  }
+}
+
+TEST(GaloisField, AlphaGeneratesWholeGroup) {
+  GaloisField gf(5);
+  std::vector<bool> seen(static_cast<std::size_t>(gf.order() + 1), false);
+  for (int i = 0; i < gf.order(); ++i) {
+    const int v = gf.exp(i);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(v)]) << "repeat at " << i;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+}
+
+TEST(GaloisField, MultiplicationAxioms) {
+  GaloisField gf(6);
+  // Commutativity, associativity, identity, zero on a sample grid.
+  for (int a = 0; a < 64; a += 7) {
+    for (int b = 0; b < 64; b += 5) {
+      EXPECT_EQ(gf.mul(a, b), gf.mul(b, a));
+      EXPECT_EQ(gf.mul(a, 1), a);
+      EXPECT_EQ(gf.mul(a, 0), 0);
+      for (int c = 0; c < 64; c += 11) {
+        EXPECT_EQ(gf.mul(gf.mul(a, b), c), gf.mul(a, gf.mul(b, c)));
+      }
+    }
+  }
+}
+
+TEST(GaloisField, Distributivity) {
+  GaloisField gf(4);
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      for (int c = 0; c < 16; ++c) {
+        EXPECT_EQ(gf.mul(a, gf.add(b, c)),
+                  gf.add(gf.mul(a, b), gf.mul(a, c)));
+      }
+    }
+  }
+}
+
+TEST(GaloisField, InversesMultiplyToOne) {
+  GaloisField gf(7);
+  for (int x = 1; x <= gf.order(); ++x) {
+    EXPECT_EQ(gf.mul(x, gf.inv(x)), 1) << x;
+  }
+  EXPECT_THROW(gf.inv(0), vkey::Error);
+}
+
+TEST(GaloisField, PowMatchesRepeatedMul) {
+  GaloisField gf(5);
+  for (int x : {1, 2, 7, 19, 31}) {
+    int acc = 1;
+    for (int p = 0; p < 8; ++p) {
+      EXPECT_EQ(gf.pow(x, p), acc) << x << "^" << p;
+      acc = gf.mul(acc, x);
+    }
+  }
+  EXPECT_EQ(gf.pow(0, 0), 1);
+  EXPECT_EQ(gf.pow(0, 5), 0);
+}
+
+TEST(Gf2Poly, DegreeAndMultiply) {
+  using namespace gf2poly;
+  EXPECT_EQ(degree({0}), -1);
+  EXPECT_EQ(degree({1}), 0);
+  EXPECT_EQ(degree({1, 0, 1}), 2);
+  // (x + 1)(x + 1) = x^2 + 1 over GF(2).
+  EXPECT_EQ(multiply({1, 1}, {1, 1}), (std::vector<std::uint8_t>{1, 0, 1}));
+  // (x^2 + x + 1)(x + 1) = x^3 + 1.
+  EXPECT_EQ(multiply({1, 1, 1}, {1, 1}),
+            (std::vector<std::uint8_t>{1, 0, 0, 1}));
+}
+
+TEST(Gf2Poly, Mod) {
+  using namespace gf2poly;
+  // (x^3 + 1) mod (x + 1) = 0 (x+1 divides it).
+  const auto r = mod({1, 0, 0, 1}, {1, 1});
+  EXPECT_EQ(degree(r), -1);
+  // x^3 mod (x^2 + 1) = x  (x^3 = x*(x^2+1) + x).
+  const auto r2 = mod({0, 0, 0, 1}, {1, 0, 1});
+  EXPECT_EQ(r2, (std::vector<std::uint8_t>{0, 1}));
+}
+
+}  // namespace
+}  // namespace vkey::ecc

@@ -1,0 +1,95 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vkey::core {
+namespace {
+
+PipelineConfig small_config(bool use_prediction = true) {
+  PipelineConfig cfg;
+  cfg.trace.scenario =
+      channel::make_scenario(channel::ScenarioKind::kV2VUrban, 50.0);
+  cfg.trace.seed = 99;
+  cfg.predictor.hidden = 8;
+  cfg.predictor_epochs = 4;
+  cfg.reconciler.decoder_units = 64;
+  cfg.reconciler_epochs = 15;
+  cfg.reconciler_samples = 1200;
+  cfg.use_prediction = use_prediction;
+  return cfg;
+}
+
+TEST(Pipeline, EndToEndProducesMetrics) {
+  KeyGenPipeline p(small_config());
+  const auto m = p.run(120, 120);
+  EXPECT_GT(m.blocks, 0u);
+  EXPECT_GT(m.mean_kar_pre, 0.6);
+  EXPECT_LE(m.mean_kar_post, 1.0);
+  EXPECT_GE(m.mean_kar_post, m.mean_kar_pre - 0.1);
+  EXPECT_GT(m.test_duration_s, 0.0);
+  EXPECT_GE(m.kgr_bits_per_s, 0.0);
+}
+
+TEST(Pipeline, ReconciliationImprovesAgreement) {
+  KeyGenPipeline p(small_config(/*use_prediction=*/false));
+  const auto m = p.run(120, 200);
+  EXPECT_GT(m.mean_kar_post, m.mean_kar_pre);
+}
+
+TEST(Pipeline, EveStaysNearChance) {
+  KeyGenPipeline p(small_config(/*use_prediction=*/false));
+  const auto m = p.run(120, 200);
+  EXPECT_LT(m.mean_eve_kar, 0.65);
+  EXPECT_GT(m.mean_eve_kar, 0.35);
+}
+
+TEST(Pipeline, BlocksExposedAfterRun) {
+  KeyGenPipeline p(small_config(/*use_prediction=*/false));
+  const auto m = p.run(120, 120);
+  EXPECT_EQ(p.blocks().size(), m.blocks);
+  for (const auto& blk : p.blocks()) {
+    EXPECT_EQ(blk.bob_key.size(), 64u);
+    EXPECT_EQ(blk.alice_corrected.size(), 64u);
+  }
+}
+
+TEST(Pipeline, AmplifiedStreamOnlyFromSuccessfulBlocks) {
+  KeyGenPipeline p(small_config(/*use_prediction=*/false));
+  const auto m = p.run(120, 250);
+  std::size_t successes = 0;
+  for (const auto& blk : p.blocks()) successes += blk.success;
+  if (successes > 0) {
+    EXPECT_EQ(p.amplified_key_stream().size(), successes * 128u);
+  }
+  (void)m;
+}
+
+TEST(Pipeline, ConfigConsistencyChecked) {
+  PipelineConfig bad = small_config();
+  bad.reconciler.key_bits = 96;  // not a multiple of the 64-bit fragment
+  EXPECT_THROW(KeyGenPipeline{bad}, vkey::Error);
+  bad = small_config();
+  bad.predictor.seq_len = 32;  // mismatch with dataset seq_len (64)
+  EXPECT_THROW(KeyGenPipeline{bad}, vkey::Error);
+}
+
+TEST(Pipeline, AccessorsRequireRun) {
+  KeyGenPipeline p(small_config());
+  EXPECT_THROW(p.predictor(), vkey::Error);
+  EXPECT_THROW(p.reconciler(), vkey::Error);
+  EXPECT_THROW(p.amplified_key_stream(), vkey::Error);
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  KeyGenPipeline p1(small_config(false));
+  KeyGenPipeline p2(small_config(false));
+  const auto m1 = p1.run(120, 120);
+  const auto m2 = p2.run(120, 120);
+  EXPECT_DOUBLE_EQ(m1.mean_kar_pre, m2.mean_kar_pre);
+  EXPECT_DOUBLE_EQ(m1.mean_kar_post, m2.mean_kar_post);
+}
+
+}  // namespace
+}  // namespace vkey::core

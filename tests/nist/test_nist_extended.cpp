@@ -1,0 +1,107 @@
+// Tests for the SP 800-22 tests beyond the paper's Table II subset.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "crypto/aes128.h"
+#include "nist/nist.h"
+
+namespace vkey::nist {
+namespace {
+
+BitVec random_bits(std::size_t n, std::uint64_t seed) {
+  vkey::Rng rng(seed);
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, rng.bernoulli(0.5));
+  return v;
+}
+
+BitVec aes_stream_bits(std::size_t n) {
+  const std::array<std::uint8_t, 16> key = {9, 9, 9, 9, 1, 2, 3, 4,
+                                            5, 6, 7, 8, 1, 2, 3, 4};
+  vkey::crypto::Aes128 aes(key);
+  const std::vector<std::uint8_t> zeros((n + 7) / 8, 0);
+  return BitVec::from_bytes(aes.ctr_crypt(zeros, 4242), n);
+}
+
+TEST(NistSerial, RandomPassesBothPValues) {
+  const auto [p1, p2] = serial_test(random_bits(20000, 1));
+  EXPECT_GT(p1, 0.01);
+  EXPECT_GT(p2, 0.01);
+}
+
+TEST(NistSerial, PeriodicPatternFails) {
+  BitVec v(20000);
+  const char* pattern = "110";
+  for (std::size_t i = 0; i < v.size(); ++i) v.set(i, pattern[i % 3] == '1');
+  const auto [p1, p2] = serial_test(v);
+  EXPECT_LT(p1, 0.01);
+}
+
+TEST(NistSerial, ParametersValidated) {
+  EXPECT_THROW(serial_test(BitVec(64)), vkey::Error);
+  EXPECT_THROW(serial_test(random_bits(200, 2), 10), vkey::Error);
+}
+
+TEST(NistOverlappingTemplate, RandomPasses) {
+  EXPECT_GT(overlapping_template_test(aes_stream_bits(110000)), 0.01);
+}
+
+TEST(NistOverlappingTemplate, AllOnesFails) {
+  BitVec v(20000);
+  for (std::size_t i = 0; i < v.size(); ++i) v.set(i, true);
+  EXPECT_LT(overlapping_template_test(v), 0.01);
+}
+
+TEST(NistOverlappingTemplate, NeedsWholeBlock) {
+  EXPECT_THROW(overlapping_template_test(BitVec(500)), vkey::Error);
+}
+
+TEST(NistUniversal, CryptographicStreamPasses) {
+  EXPECT_GT(universal_test(aes_stream_bits(420000)), 0.01);
+}
+
+TEST(NistUniversal, HighlyCompressibleFails) {
+  BitVec v(420000);
+  for (std::size_t i = 0; i < v.size(); ++i) v.set(i, (i / 6) % 2 == 0);
+  EXPECT_LT(universal_test(v), 0.01);
+}
+
+TEST(NistUniversal, ShortInputRejected) {
+  EXPECT_THROW(universal_test(BitVec(10000)), vkey::Error);
+}
+
+TEST(NistRandomExcursions, RandomWalkPasses) {
+  const auto ps = random_excursions_test(aes_stream_bits(600000));
+  ASSERT_EQ(ps.size(), 8u);
+  int pass = 0;
+  for (double p : ps) pass += p >= 0.01;
+  EXPECT_GE(pass, 7);  // allow one borderline state
+}
+
+TEST(NistRandomExcursions, NeedsEnoughCycles) {
+  // A heavily biased walk rarely returns to zero.
+  BitVec v(10000);
+  for (std::size_t i = 0; i < v.size(); ++i) v.set(i, i % 10 != 0);
+  EXPECT_THROW(random_excursions_test(v), vkey::Error);
+}
+
+TEST(NistRandomExcursionsVariant, RandomWalkPasses) {
+  const auto ps = random_excursions_variant_test(aes_stream_bits(600000));
+  ASSERT_EQ(ps.size(), 18u);
+  int pass = 0;
+  for (double p : ps) pass += p >= 0.01;
+  EXPECT_GE(pass, 16);
+}
+
+TEST(NistExtended, AmplifiedStyleStreamPassesEverything) {
+  // A concatenation of SHA-derived blocks (the shape of Vehicle-Key's final
+  // key stream) passes the extended battery too.
+  const BitVec stream = aes_stream_bits(600000);
+  EXPECT_GT(serial_test(stream).first, 0.01);
+  EXPECT_GT(overlapping_template_test(stream), 0.01);
+  EXPECT_GT(universal_test(stream), 0.01);
+}
+
+}  // namespace
+}  // namespace vkey::nist

@@ -1,0 +1,145 @@
+#include "nn/dense.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "nn/loss.h"
+
+namespace vkey::nn {
+namespace {
+
+TEST(Dense, OutputShape) {
+  vkey::Rng rng(1);
+  Dense d(3, 5, rng);
+  const Vec y = d.infer({1.0, 2.0, 3.0});
+  EXPECT_EQ(y.size(), 5u);
+}
+
+TEST(Dense, InputSizeChecked) {
+  vkey::Rng rng(1);
+  Dense d(3, 5, rng);
+  EXPECT_THROW(d.infer({1.0, 2.0}), vkey::Error);
+}
+
+TEST(Dense, ForwardMatchesInfer) {
+  vkey::Rng rng(2);
+  Dense d(4, 4, rng, Activation::kTanh);
+  const Vec x{0.5, -0.2, 0.1, 0.9};
+  EXPECT_EQ(d.forward(x), d.infer(x));
+}
+
+TEST(Dense, LinearLayerIsAffine) {
+  vkey::Rng rng(3);
+  Dense d(2, 2, rng);
+  const Vec x1{1.0, 0.0}, x2{0.0, 1.0}, zero{0.0, 0.0};
+  const Vec b = d.infer(zero);
+  const Vec y1 = d.infer(x1);
+  const Vec y2 = d.infer(x2);
+  // f(x1 + x2) = f(x1) + f(x2) - b for affine maps.
+  const Vec sum = d.infer({1.0, 1.0});
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(sum[i], y1[i] + y2[i] - b[i], 1e-12);
+  }
+}
+
+TEST(Dense, ReluClampsNegative) {
+  vkey::Rng rng(4);
+  Dense d(1, 8, rng, Activation::kRelu);
+  const Vec y = d.infer({-100.0});
+  for (double v : y) EXPECT_GE(v, 0.0);
+}
+
+TEST(Dense, SigmoidBounded) {
+  vkey::Rng rng(5);
+  Dense d(1, 8, rng, Activation::kSigmoid);
+  for (double x : {-50.0, -1.0, 0.0, 1.0, 50.0}) {
+    for (double v : d.infer({x})) {
+      EXPECT_GT(v, 0.0);
+      EXPECT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(Dense, BackwardBeforeForwardThrows) {
+  vkey::Rng rng(6);
+  Dense d(2, 2, rng);
+  EXPECT_THROW(d.backward({1.0, 1.0}), vkey::Error);
+}
+
+// Numerical gradient check: perturb each parameter and compare the measured
+// loss slope to the analytic gradient.
+template <Activation act>
+void check_gradients() {
+  vkey::Rng rng(7);
+  Dense d(3, 2, rng, act);
+  const Vec x{0.3, -0.7, 0.5};
+  const Vec target{0.2, 0.8};
+
+  auto loss_of = [&] {
+    return mse_loss(d.infer(x), target).loss;
+  };
+
+  // Analytic gradients.
+  const Vec y = d.forward(x);
+  const auto l = mse_loss(y, target);
+  d.backward(l.grad);
+
+  const double eps = 1e-6;
+  for (Parameter* p : d.parameters()) {
+    for (std::size_t i = 0; i < p->size(); ++i) {
+      const double saved = p->value[i];
+      p->value[i] = saved + eps;
+      const double up = loss_of();
+      p->value[i] = saved - eps;
+      const double down = loss_of();
+      p->value[i] = saved;
+      const double numeric = (up - down) / (2.0 * eps);
+      EXPECT_NEAR(p->grad[i], numeric, 1e-5)
+          << "param element " << i;
+    }
+  }
+}
+
+TEST(Dense, GradientCheckLinear) { check_gradients<Activation::kNone>(); }
+TEST(Dense, GradientCheckTanh) { check_gradients<Activation::kTanh>(); }
+TEST(Dense, GradientCheckSigmoid) {
+  check_gradients<Activation::kSigmoid>();
+}
+
+TEST(Dense, InputGradientCheck) {
+  vkey::Rng rng(8);
+  Dense d(3, 2, rng, Activation::kTanh);
+  Vec x{0.3, -0.7, 0.5};
+  const Vec target{0.2, 0.8};
+  const Vec y = d.forward(x);
+  const auto l = mse_loss(y, target);
+  const Vec dx = d.backward(l.grad);
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double saved = x[i];
+    x[i] = saved + eps;
+    const double up = mse_loss(d.infer(x), target).loss;
+    x[i] = saved - eps;
+    const double down = mse_loss(d.infer(x), target).loss;
+    x[i] = saved;
+    EXPECT_NEAR(dx[i], (up - down) / (2.0 * eps), 1e-5);
+  }
+}
+
+TEST(Dense, GradAccumulatesAcrossSamples) {
+  vkey::Rng rng(9);
+  Dense d(1, 1, rng);
+  const Vec x{1.0};
+  d.forward(x);
+  d.backward({1.0});
+  const double g1 = d.parameters()[0]->grad[0];
+  d.forward(x);
+  d.backward({1.0});
+  EXPECT_NEAR(d.parameters()[0]->grad[0], 2.0 * g1, 1e-12);
+}
+
+}  // namespace
+}  // namespace vkey::nn

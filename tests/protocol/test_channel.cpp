@@ -1,0 +1,72 @@
+#include "protocol/channel.h"
+
+#include <gtest/gtest.h>
+
+namespace vkey::protocol {
+namespace {
+
+Message msg(MessageType type, std::uint64_t nonce) {
+  Message m;
+  m.type = type;
+  m.session_id = 1;
+  m.nonce = nonce;
+  return m;
+}
+
+TEST(PublicChannel, FifoDelivery) {
+  PublicChannel ch;
+  ch.send(msg(MessageType::kKeyGenRequest, 1));
+  ch.send(msg(MessageType::kKeyGenAccept, 2));
+  EXPECT_EQ(ch.pending(), 2u);
+  EXPECT_EQ(ch.receive()->nonce, 1u);
+  EXPECT_EQ(ch.receive()->nonce, 2u);
+  EXPECT_FALSE(ch.receive().has_value());
+}
+
+TEST(PublicChannel, TranscriptRecordsEverything) {
+  PublicChannel ch;
+  ch.send(msg(MessageType::kKeyGenRequest, 1));
+  (void)ch.receive();
+  ch.send(msg(MessageType::kSyndrome, 2));
+  ASSERT_EQ(ch.transcript().size(), 2u);
+  EXPECT_EQ(ch.transcript()[1].type, MessageType::kSyndrome);
+}
+
+TEST(PublicChannel, InterceptorCanModify) {
+  PublicChannel ch;
+  ch.set_interceptor([](const Message& m) {
+    Message t = m;
+    t.nonce = 99;
+    return t;
+  });
+  ch.send(msg(MessageType::kData, 1));
+  EXPECT_EQ(ch.receive()->nonce, 99u);
+  // The transcript keeps the original.
+  EXPECT_EQ(ch.transcript()[0].nonce, 1u);
+}
+
+TEST(PublicChannel, InterceptorCanDrop) {
+  PublicChannel ch;
+  ch.set_interceptor([](const Message&) { return std::nullopt; });
+  ch.send(msg(MessageType::kData, 1));
+  EXPECT_EQ(ch.pending(), 0u);
+  EXPECT_EQ(ch.transcript().size(), 1u);
+}
+
+TEST(PublicChannel, ClearInterceptor) {
+  PublicChannel ch;
+  ch.set_interceptor([](const Message&) { return std::nullopt; });
+  ch.set_interceptor(nullptr);
+  ch.send(msg(MessageType::kData, 1));
+  EXPECT_EQ(ch.pending(), 1u);
+}
+
+TEST(PublicChannel, InjectBypassesTranscript) {
+  PublicChannel ch;
+  ch.inject(msg(MessageType::kSyndrome, 5));
+  EXPECT_EQ(ch.pending(), 1u);
+  EXPECT_TRUE(ch.transcript().empty());  // forged, never "sent"
+}
+
+}  // namespace
+}  // namespace vkey::protocol

@@ -1,0 +1,99 @@
+#include "protocol/group.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace vkey::protocol {
+namespace {
+
+BitVec random_key(std::uint64_t seed) {
+  vkey::Rng rng(seed);
+  BitVec k(128);
+  for (std::size_t i = 0; i < 128; ++i) k.set(i, rng.bernoulli(0.5));
+  return k;
+}
+
+TEST(GroupKey, AllMembersRecoverTheSameKey) {
+  GroupKeyHub hub(1);
+  const BitVec ka = random_key(10), kb = random_key(11), kc = random_key(12);
+  hub.add_member("car-a", ka);
+  hub.add_member("car-b", kb);
+  hub.add_member("car-c", kc);
+
+  const auto wrapped = hub.distribute();
+  ASSERT_EQ(wrapped.size(), 3u);
+  const BitVec expect = hub.group_key();
+  const std::map<std::string, BitVec> keys{{"car-a", ka}, {"car-b", kb},
+                                           {"car-c", kc}};
+  for (const auto& [id, msg] : wrapped) {
+    const auto got = unwrap_group_key(keys.at(id), msg);
+    ASSERT_TRUE(got.has_value()) << id;
+    EXPECT_EQ(*got, expect) << id;
+  }
+}
+
+TEST(GroupKey, WrongPairwiseKeyCannotUnwrap) {
+  GroupKeyHub hub(2);
+  hub.add_member("car-a", random_key(20));
+  const auto wrapped = hub.distribute();
+  EXPECT_FALSE(unwrap_group_key(random_key(99), wrapped[0].second)
+                   .has_value());
+}
+
+TEST(GroupKey, TamperedWrapRejected) {
+  GroupKeyHub hub(3);
+  const BitVec ka = random_key(30);
+  hub.add_member("car-a", ka);
+  auto wrapped = hub.distribute();
+  wrapped[0].second.payload[0] ^= 0x01;
+  EXPECT_FALSE(unwrap_group_key(ka, wrapped[0].second).has_value());
+}
+
+TEST(GroupKey, RemovalRotatesTheKey) {
+  GroupKeyHub hub(4);
+  const BitVec ka = random_key(40), kb = random_key(41);
+  hub.add_member("car-a", ka);
+  hub.add_member("car-b", kb);
+  hub.distribute();
+  const BitVec old_key = hub.group_key();
+
+  hub.remove_member("car-b");
+  const auto wrapped = hub.distribute();
+  ASSERT_EQ(wrapped.size(), 1u);
+  EXPECT_NE(hub.group_key(), old_key);
+  // The departed member's pairwise key cannot unwrap the new epoch.
+  EXPECT_FALSE(unwrap_group_key(kb, wrapped[0].second).has_value());
+}
+
+TEST(GroupKey, EpochsIncrease) {
+  GroupKeyHub hub(5);
+  hub.add_member("car-a", random_key(50));
+  EXPECT_EQ(hub.epoch(), 0u);
+  hub.distribute();
+  EXPECT_EQ(hub.epoch(), 1u);
+  hub.distribute();
+  EXPECT_EQ(hub.epoch(), 2u);
+}
+
+TEST(GroupKey, FreshKeysPerEpoch) {
+  GroupKeyHub hub(6);
+  hub.add_member("car-a", random_key(60));
+  hub.distribute();
+  const BitVec k1 = hub.group_key();
+  hub.distribute();
+  EXPECT_NE(hub.group_key(), k1);
+}
+
+TEST(GroupKey, Validation) {
+  GroupKeyHub hub(7);
+  EXPECT_THROW(hub.distribute(), vkey::Error);   // no members
+  EXPECT_THROW(hub.group_key(), vkey::Error);    // nothing distributed
+  EXPECT_THROW(hub.add_member("x", BitVec(64)), vkey::Error);
+  EXPECT_THROW(hub.add_member("", random_key(1)), vkey::Error);
+  EXPECT_THROW(hub.remove_member("ghost"), vkey::Error);
+}
+
+}  // namespace
+}  // namespace vkey::protocol

@@ -1,0 +1,82 @@
+#include "protocol/message.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vkey::protocol {
+namespace {
+
+Message sample_message() {
+  Message m;
+  m.type = MessageType::kSyndrome;
+  m.session_id = 0x1122334455667788ULL;
+  m.nonce = 42;
+  m.payload = {1, 2, 3, 4, 5};
+  m.mac = {9, 8, 7};
+  return m;
+}
+
+TEST(Message, SerializeRoundTrip) {
+  const Message m = sample_message();
+  const auto bytes = serialize(m);
+  const auto back = deserialize(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, m);
+}
+
+TEST(Message, EmptyPayloadAndMacRoundTrip) {
+  Message m;
+  m.type = MessageType::kKeyGenRequest;
+  m.session_id = 1;
+  m.nonce = 0;
+  const auto back = deserialize(serialize(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, m);
+}
+
+TEST(Message, DeserializeRejectsEmpty) {
+  EXPECT_FALSE(deserialize(std::vector<std::uint8_t>{}).has_value());
+}
+
+TEST(Message, DeserializeRejectsBadType) {
+  auto bytes = serialize(sample_message());
+  bytes[0] = 99;
+  EXPECT_FALSE(deserialize(bytes).has_value());
+}
+
+TEST(Message, DeserializeRejectsTruncation) {
+  const auto bytes = serialize(sample_message());
+  for (std::size_t cut = 1; cut < bytes.size(); cut += 3) {
+    const std::vector<std::uint8_t> shorter(bytes.begin(),
+                                            bytes.end() - static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(deserialize(shorter).has_value()) << "cut " << cut;
+  }
+}
+
+TEST(Message, DeserializeRejectsTrailingGarbage) {
+  auto bytes = serialize(sample_message());
+  bytes.push_back(0xff);
+  EXPECT_FALSE(deserialize(bytes).has_value());
+}
+
+TEST(Message, MacInputExcludesMac) {
+  Message a = sample_message();
+  Message b = a;
+  b.mac = {0xde, 0xad};
+  EXPECT_EQ(mac_input(a), mac_input(b));
+  b.nonce += 1;
+  EXPECT_NE(mac_input(a), mac_input(b));
+}
+
+TEST(Message, PackUnpackDoubles) {
+  const std::vector<double> v{1.5, -2.25, 3.125, 0.0};
+  EXPECT_EQ(unpack_doubles(pack_doubles(v)), v);
+}
+
+TEST(Message, UnpackRejectsMisaligned) {
+  EXPECT_THROW(unpack_doubles(std::vector<std::uint8_t>(7)), vkey::Error);
+}
+
+}  // namespace
+}  // namespace vkey::protocol
