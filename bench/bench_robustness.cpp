@@ -1,0 +1,168 @@
+// Robustness sweep — reliable key agreement over a lossy LoRa link.
+//
+// Sweeps the per-frame drop probability 0–40% and reports, per rate:
+// establishment success over 200 trials, median virtual time-to-key,
+// mean frames-per-establishment (data + retransmissions + acks), mean
+// retransmissions and mean session attempts. The 0% row is the control:
+// it must match the seed path — no retransmissions, and the established
+// key equal to what the plain in-order channel produces for the same
+// probe material.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/reconciler.h"
+#include "protocol/reliability.h"
+#include "protocol/session.h"
+
+using namespace vkey;
+using namespace vkey::protocol;
+
+namespace {
+
+constexpr int kTrials = 200;
+
+BitVec random_key(std::uint64_t seed) {
+  vkey::Rng rng(seed);
+  BitVec k(64);
+  for (std::size_t i = 0; i < 64; ++i) k.set(i, rng.bernoulli(0.5));
+  return k;
+}
+
+BitVec with_flips(const BitVec& k, int flips, std::uint64_t seed) {
+  vkey::Rng rng(seed);
+  BitVec out = k;
+  for (int f = 0; f < flips; ++f) {
+    out.flip(static_cast<std::size_t>(rng.uniform_int(out.size())));
+  }
+  return out;
+}
+
+ProbeMaterialFn material_for(std::uint64_t trial) {
+  return [trial](std::size_t attempt) {
+    const std::uint64_t seed = hash_combine64(trial, attempt);
+    const BitVec kb = random_key(seed);
+    return std::make_pair(with_flips(kb, 3, seed ^ 0x5a5a), kb);
+  };
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+struct SweepRow {
+  double success_rate = 0.0;
+  double median_time_ms = 0.0;
+  double frames_per_establishment = 0.0;
+  double retransmissions_per_trial = 0.0;
+  double mean_attempts = 0.0;
+};
+
+SweepRow sweep(double drop, const core::AutoencoderReconciler& reconciler) {
+  SweepRow row;
+  int successes = 0;
+  std::vector<double> times;
+  std::size_t frames = 0, retransmissions = 0, attempts = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    ReliabilityConfig cfg;
+    cfg.radio.spreading_factor = 7;  // keep virtual timescales compact
+    cfg.fault.drop_prob = drop;
+    cfg.fault.seed = hash_combine64(0xbe7c, static_cast<std::uint64_t>(trial));
+    cfg.arq.seed = hash_combine64(0xa9, static_cast<std::uint64_t>(trial));
+    PublicChannel base;
+    const auto report = run_reliable_key_agreement(
+        base, reconciler, cfg, material_for(static_cast<std::uint64_t>(trial)));
+    attempts += report.attempts;
+    frames += report.wire_frames;
+    for (const auto& att : report.attempt_log) {
+      retransmissions += att.alice_transport.retransmissions +
+                         att.bob_transport.retransmissions;
+    }
+    if (report.established) {
+      ++successes;
+      times.push_back(report.time_to_establish_ms);
+    }
+  }
+  row.success_rate = static_cast<double>(successes) / kTrials;
+  row.median_time_ms = median(times);
+  row.frames_per_establishment =
+      successes > 0 ? static_cast<double>(frames) / successes : 0.0;
+  row.retransmissions_per_trial =
+      static_cast<double>(retransmissions) / kTrials;
+  row.mean_attempts = static_cast<double>(attempts) / kTrials;
+  return row;
+}
+
+/// Control: at 0% faults the reliability layer must reproduce the seed
+/// path bit-for-bit (same keys, zero retransmissions).
+bool control_matches_seed_path(const core::AutoencoderReconciler& reconciler) {
+  for (std::uint64_t trial = 0; trial < 20; ++trial) {
+    const auto material = material_for(trial);
+    ReliabilityConfig cfg;
+    cfg.radio.spreading_factor = 7;
+    PublicChannel base;
+    const auto report =
+        run_reliable_key_agreement(base, reconciler, cfg, material);
+
+    auto [ka, kb] = material(0);
+    SessionConfig scfg;
+    AliceSession alice(scfg, reconciler, ka);
+    BobSession bob(scfg, reconciler, kb);
+    PublicChannel plain;
+    const auto seed_result = run_key_agreement_detailed(plain, alice, bob);
+
+    // Compare the FIRST attempt against the seed path: session recovery may
+    // legitimately rescue a trial whose attempt-0 probe material is beyond
+    // the reconciler (fresh material on attempt 1), which the single-shot
+    // seed path cannot do.
+    if (report.attempt_log.empty()) return false;
+    if (report.attempt_log.front().established != seed_result.established) {
+      return false;
+    }
+    if (report.attempt_log.front().established &&
+        report.key != alice.final_key()) {
+      return false;
+    }
+    for (const auto& att : report.attempt_log) {
+      if (att.alice_transport.retransmissions != 0 ||
+          att.bob_transport.retransmissions != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("training the shared reconciler...\n");
+  core::ReconcilerConfig rcfg;
+  rcfg.key_bits = 64;
+  rcfg.decoder_units = 64;
+  core::AutoencoderReconciler reconciler(rcfg);
+  reconciler.train(2500, 25);
+
+  Table t({"drop rate", "success rate", "median time-to-key [virt ms]",
+           "frames / establishment", "retx / trial", "mean attempts"});
+  for (const double drop : {0.0, 0.05, 0.10, 0.20, 0.30, 0.40}) {
+    const SweepRow row = sweep(drop, reconciler);
+    t.add_row({Table::pct(drop), Table::pct(row.success_rate),
+               Table::fmt(row.median_time_ms, 1),
+               Table::fmt(row.frames_per_establishment, 1),
+               Table::fmt(row.retransmissions_per_trial, 2),
+               Table::fmt(row.mean_attempts, 2)});
+  }
+  t.print("Robustness: key establishment vs frame drop rate (" +
+          std::to_string(kTrials) + " trials/rate, SF7 virtual link)");
+
+  std::printf("\n0%%-drop control matches seed path (same keys, zero "
+              "retransmissions): %s\n",
+              control_matches_seed_path(reconciler) ? "yes" : "NO");
+  return 0;
+}

@@ -17,13 +17,25 @@
 //   --decoder-units N      reconciler decoder width         default 64
 //   --seed N               simulation seed                  default 1
 //   --no-prediction        ablate the BiLSTM (direct quantization)
+//
+// Fault injection (any of these enables the reliable-link phase, which
+// replays every evaluation block through the ARQ transport over a lossy
+// virtual LoRa link):
+//   --drop P               per-frame drop probability       default 0
+//   --reorder P            per-frame reorder probability    default 0
+//   --dup P                per-frame duplication probability default 0
+//   --corrupt P            per-frame bit-corruption probability default 0
+//   --link-seed N          fault/backoff seed               default 1
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/table.h"
 #include "core/pipeline.h"
+#include "protocol/reliability.h"
 
 using namespace vkey;
 using namespace vkey::channel;
@@ -36,7 +48,9 @@ namespace {
                "usage: %s [--scenario v2i-urban|v2i-rural|v2v-urban|"
                "v2v-rural] [--speed KMH] [--train-rounds N] "
                "[--test-rounds N] [--hidden N] [--epochs N] "
-               "[--decoder-units N] [--seed N] [--no-prediction]\n",
+               "[--decoder-units N] [--seed N] [--no-prediction] "
+               "[--drop P] [--reorder P] [--dup P] [--corrupt P] "
+               "[--link-seed N]\n",
                argv0);
   std::exit(2);
 }
@@ -56,6 +70,8 @@ int main(int argc, char** argv) {
   ScenarioKind kind = ScenarioKind::kV2VUrban;
   double speed = 50.0;
   std::size_t train_rounds = 600, test_rounds = 400;
+  protocol::FaultConfig fault;
+  bool run_link = false;
   PipelineConfig cfg;
   cfg.predictor.hidden = 32;
   cfg.predictor_epochs = 40;
@@ -77,6 +93,11 @@ int main(int argc, char** argv) {
     else if (arg == "--decoder-units") cfg.reconciler.decoder_units = static_cast<std::size_t>(std::atoll(next()));
     else if (arg == "--seed") cfg.trace.seed = static_cast<std::uint64_t>(std::atoll(next()));
     else if (arg == "--no-prediction") cfg.use_prediction = false;
+    else if (arg == "--drop") { fault.drop_prob = std::atof(next()); run_link = true; }
+    else if (arg == "--reorder") { fault.reorder_prob = std::atof(next()); run_link = true; }
+    else if (arg == "--dup") { fault.dup_prob = std::atof(next()); run_link = true; }
+    else if (arg == "--corrupt") { fault.corrupt_prob = std::atof(next()); run_link = true; }
+    else if (arg == "--link-seed") { fault.seed = static_cast<std::uint64_t>(std::atoll(next())); run_link = true; }
     else usage(argv[0]);
   }
   if (speed <= 0.0 || train_rounds == 0 || test_rounds == 0) usage(argv[0]);
@@ -105,5 +126,78 @@ int main(int argc, char** argv) {
              Table::pct(m.mean_eve_kar_iterative)});
   t.add_row({"evaluation span", Table::fmt(m.test_duration_s, 0) + " s"});
   t.print("results");
+
+  if (run_link) {
+    // Replay every evaluation block through the ARQ transport over a lossy
+    // virtual LoRa link; session recovery harvests the next block's probe
+    // material when an attempt burns its retry budget.
+    const auto& blocks = pipeline.blocks();
+    if (blocks.empty()) {
+      std::printf("\nno evaluation blocks to drive over the lossy link\n");
+      return 0;
+    }
+    std::printf("\nreliable-link phase: drop %.0f%%, reorder %.0f%%, dup "
+                "%.0f%%, corrupt %.0f%%, link seed %llu\n",
+                100.0 * fault.drop_prob, 100.0 * fault.reorder_prob,
+                100.0 * fault.dup_prob, 100.0 * fault.corrupt_prob,
+                static_cast<unsigned long long>(fault.seed));
+
+    std::size_t established = 0, attempts = 0, retransmissions = 0;
+    std::size_t frames = 0;
+    std::vector<double> times;
+    std::vector<std::size_t> failures(6, 0);
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      protocol::ReliabilityConfig rcfg;
+      rcfg.fault = fault;
+      rcfg.fault.seed = hash_combine64(fault.seed, i);
+      rcfg.arq.seed = hash_combine64(fault.seed ^ 0xa2c, i);
+      rcfg.base_session_id = 1 + i * 16;
+      const protocol::ProbeMaterialFn material =
+          [&blocks, i](std::size_t attempt) {
+            const auto& b = blocks[(i + attempt) % blocks.size()];
+            return std::make_pair(b.alice_raw, b.bob_key);
+          };
+      protocol::PublicChannel base;
+      const auto report = protocol::run_reliable_key_agreement(
+          base, pipeline.reconciler(), rcfg, material);
+      attempts += report.attempts;
+      frames += report.wire_frames;
+      for (const auto& att : report.attempt_log) {
+        retransmissions += att.alice_transport.retransmissions +
+                           att.bob_transport.retransmissions;
+      }
+      if (report.established) {
+        ++established;
+        times.push_back(report.time_to_establish_ms);
+      } else {
+        ++failures[static_cast<std::size_t>(report.failure)];
+      }
+    }
+    std::sort(times.begin(), times.end());
+    const double median_ms =
+        times.empty() ? 0.0
+        : times.size() % 2 == 1
+            ? times[times.size() / 2]
+            : 0.5 * (times[times.size() / 2 - 1] + times[times.size() / 2]);
+
+    Table lt({"metric", "value"});
+    lt.add_row({"blocks driven over link", std::to_string(blocks.size())});
+    lt.add_row({"established", Table::pct(static_cast<double>(established) /
+                                          static_cast<double>(blocks.size()))});
+    lt.add_row({"mean session attempts",
+                Table::fmt(static_cast<double>(attempts) /
+                               static_cast<double>(blocks.size()),
+                           2)});
+    lt.add_row({"median time-to-key", Table::fmt(median_ms / 1000.0, 2) + " virt s"});
+    lt.add_row({"wire frames total", std::to_string(frames)});
+    lt.add_row({"retransmissions total", std::to_string(retransmissions)});
+    for (std::size_t r = 1; r < failures.size(); ++r) {
+      if (failures[r] == 0) continue;
+      lt.add_row({"failures: " +
+                      to_string(static_cast<protocol::FailureReason>(r)),
+                  std::to_string(failures[r])});
+    }
+    lt.print("reliable key agreement over the lossy link");
+  }
   return 0;
 }

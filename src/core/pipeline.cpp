@@ -102,6 +102,7 @@ PipelineMetrics KeyGenPipeline::run(std::size_t train_rounds,
       eve_acc = eve_acc.slice(cfg_.reconciler.key_bits,
                               eve_acc.size() - cfg_.reconciler.key_bits);
 
+      blk.alice_raw = ka;
       blk.kar_pre = ka.agreement(blk.bob_key);
       const auto y_bob = reconciler_->encode_bob(blk.bob_key);
       blk.alice_corrected = reconciler_->reconcile(ka, y_bob);

@@ -44,6 +44,8 @@ struct PipelineConfig {
 /// One reconciled key block and its quality.
 struct KeyBlockResult {
   BitVec bob_key;            ///< reference key (Bob's)
+  BitVec alice_raw;          ///< Alice's key before reconciliation — the
+                             ///< probe material a protocol session starts from
   BitVec alice_corrected;    ///< Alice's key after reconciliation
   double kar_pre = 0.0;      ///< bit agreement before reconciliation
   double kar_post = 0.0;     ///< bit agreement after reconciliation

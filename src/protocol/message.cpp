@@ -46,7 +46,7 @@ std::optional<Message> deserialize(std::span<const std::uint8_t> bytes) {
   if (bytes.empty()) return std::nullopt;
   Message msg;
   const std::uint8_t type = bytes[off++];
-  if (type < 1 || type > 6) return std::nullopt;
+  if (type < 1 || type > 7) return std::nullopt;
   msg.type = static_cast<MessageType>(type);
 
   const auto session = get_u64(bytes, off);

@@ -22,6 +22,8 @@ enum class MessageType : std::uint8_t {
   kKeyConfirm = 4,      ///< Alice -> Bob: hash commitment of the final key
   kKeyConfirmAck = 5,   ///< Bob -> Alice: confirmation verified
   kData = 6,            ///< AES-CTR protected payload
+  kAck = 7,             ///< transport-level delivery acknowledgement (ARQ);
+                        ///< nonce = the nonce of the frame being acked
 };
 
 struct Message {

@@ -1,0 +1,199 @@
+#include "protocol/reliability.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace vkey::protocol {
+
+namespace {
+
+// Runaway guard per attempt: far above anything a sane exchange needs
+// (~6 frames * (1 + max_retries) events each, plus duplicates).
+constexpr std::size_t kMaxEventsPerAttempt = 200000;
+
+void accumulate(LinkStats& into, const LinkStats& from) {
+  into.sent += from.sent;
+  into.delivered += from.delivered;
+  into.dropped += from.dropped;
+  into.corrupted += from.corrupted;
+  into.crc_lost += from.crc_lost;
+  into.duplicated += from.duplicated;
+  into.reordered += from.reordered;
+}
+
+FailureReason classify_failure(const AliceSession& alice,
+                               const BobSession& bob, bool exhausted,
+                               bool timed_out) {
+  const auto failed_reason = [](RejectReason r) {
+    switch (r) {
+      case RejectReason::kMacMismatch: return FailureReason::kMacMismatch;
+      case RejectReason::kConfirmMismatch:
+        return FailureReason::kConfirmMismatch;
+      default: return FailureReason::kProtocolError;
+    }
+  };
+  if (alice.state() == SessionState::kFailed) {
+    return failed_reason(alice.last_reject());
+  }
+  if (bob.state() == SessionState::kFailed) {
+    return failed_reason(bob.last_reject());
+  }
+  if (exhausted) return FailureReason::kRetryExhausted;
+  if (timed_out) return FailureReason::kTimeout;
+  return FailureReason::kProtocolError;
+}
+
+}  // namespace
+
+std::string to_string(FailureReason r) {
+  switch (r) {
+    case FailureReason::kNone: return "none";
+    case FailureReason::kRetryExhausted: return "retry-exhausted";
+    case FailureReason::kMacMismatch: return "mac-mismatch";
+    case FailureReason::kConfirmMismatch: return "confirm-mismatch";
+    case FailureReason::kTimeout: return "timeout";
+    case FailureReason::kProtocolError: return "protocol-error";
+  }
+  return "?";
+}
+
+AgreementReport run_reliable_key_agreement(
+    PublicChannel& base, const core::AutoencoderReconciler& reconciler,
+    const ReliabilityConfig& config, const ProbeMaterialFn& material) {
+  VKEY_REQUIRE(config.max_session_attempts >= 1, "need at least one attempt");
+  AgreementReport report;
+
+  for (std::size_t attempt = 0; attempt < config.max_session_attempts;
+       ++attempt) {
+    ++report.attempts;
+
+    // Fresh session id, probe material, fault stream and jitter stream per
+    // attempt: a loss pattern that killed attempt k must not repeat
+    // identically in attempt k+1.
+    SessionConfig scfg;
+    scfg.session_id = config.base_session_id + attempt;
+    scfg.final_key_bits = config.final_key_bits;
+    auto [alice_raw, bob_raw] = material(attempt);
+    AliceSession alice(scfg, reconciler, std::move(alice_raw));
+    BobSession bob(scfg, reconciler, std::move(bob_raw));
+
+    SimClock clock;
+    FaultConfig faults = config.fault;
+    faults.seed = hash_combine64(config.fault.seed, attempt);
+    UnreliableChannel link(clock, base, faults, config.radio);
+
+    // RTT estimate: frame airtime + ack airtime + both processing delays.
+    Message ack_probe;
+    ack_probe.type = MessageType::kAck;
+    const auto rtt = [&link, ack_latency = link.nominal_latency_ms(ack_probe)](
+                         const Message& m) {
+      return link.nominal_latency_ms(m) + ack_latency;
+    };
+
+    ArqConfig arq_alice = config.arq;
+    arq_alice.seed = hash_combine64(config.arq.seed, 2 * attempt);
+    ArqConfig arq_bob = config.arq;
+    arq_bob.seed = hash_combine64(config.arq.seed, 2 * attempt + 1);
+
+    ReliableTransport alice_tx(
+        clock, arq_alice,
+        [&link](const Message& m) {
+          link.send(UnreliableChannel::Endpoint::kAlice, m);
+        },
+        rtt);
+    ReliableTransport bob_tx(
+        clock, arq_bob,
+        [&link](const Message& m) {
+          link.send(UnreliableChannel::Endpoint::kBob, m);
+        },
+        rtt);
+
+    const auto accepts = [](const RejectReason r) {
+      return r == RejectReason::kNone || r == RejectReason::kDuplicate;
+    };
+    alice_tx.set_upcall(
+        [&alice](const Message& m) { return alice.handle(m); },
+        [&alice, accepts] { return accepts(alice.last_reject()); });
+
+    bool syndrome_sent = false;
+    bob_tx.set_upcall(
+        [&](const Message& m) {
+          auto response = bob.handle(m);
+          if (!syndrome_sent && bob.state() == SessionState::kAwaitConfirm) {
+            // Bob publishes y_Bob + MAC right after accepting. Defer the
+            // reliable send one event so the accept is transmitted first.
+            syndrome_sent = true;
+            clock.schedule(0.0, [&bob_tx, syndrome = bob.make_syndrome()] {
+              bob_tx.send(syndrome);
+            });
+          }
+          return response;
+        },
+        [&bob, accepts] { return accepts(bob.last_reject()); });
+
+    link.set_handler(UnreliableChannel::Endpoint::kAlice,
+                     [&alice_tx](const Message& m) { alice_tx.on_wire(m); });
+    link.set_handler(UnreliableChannel::Endpoint::kBob,
+                     [&bob_tx](const Message& m) { bob_tx.on_wire(m); });
+
+    alice_tx.send(alice.start());
+
+    bool timed_out = false;
+    std::size_t events = 0;
+    const auto established = [&] {
+      return alice.state() == SessionState::kEstablished &&
+             bob.state() == SessionState::kEstablished;
+    };
+    const auto terminal = [&] {
+      return established() ||
+             alice.state() == SessionState::kFailed ||
+             bob.state() == SessionState::kFailed ||
+             alice_tx.exhausted() || bob_tx.exhausted();
+    };
+    while (!terminal() && events < kMaxEventsPerAttempt) {
+      if (clock.now_ms() > config.attempt_timeout_ms) {
+        timed_out = true;
+        break;
+      }
+      if (!clock.run_next()) break;  // quiescent: nothing can make progress
+      ++events;
+    }
+
+    AttemptReport att;
+    att.session_id = scfg.session_id;
+    att.alice_state = alice.state();
+    att.bob_state = bob.state();
+    att.alice_reject = alice.last_reject();
+    att.bob_reject = bob.last_reject();
+    att.duration_ms = clock.now_ms();
+    att.alice_transport = alice_tx.stats();
+    att.bob_transport = bob_tx.stats();
+    att.alice_duplicates_suppressed = alice.duplicates_suppressed();
+    att.bob_duplicates_suppressed = bob.duplicates_suppressed();
+    att.alice_rejects = alice.rejected_count();
+    att.bob_rejects = bob.rejected_count();
+    att.link = link.stats();
+    att.established = established() && alice.final_key() == bob.final_key();
+    att.failure = att.established
+                      ? FailureReason::kNone
+                      : classify_failure(alice, bob,
+                                         alice_tx.exhausted() ||
+                                             bob_tx.exhausted(),
+                                         timed_out);
+
+    report.time_to_establish_ms += att.duration_ms;
+    report.wire_frames += link.stats().sent;
+    accumulate(report.link, link.stats());
+    report.failure = att.failure;
+    const bool success = att.established;
+    if (success) report.key = alice.final_key();
+    report.attempt_log.push_back(std::move(att));
+    if (success) {
+      report.established = true;
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace vkey::protocol

@@ -57,8 +57,34 @@ std::string to_string(RejectReason r) {
     case RejectReason::kBadState: return "bad-state";
     case RejectReason::kMalformed: return "malformed";
     case RejectReason::kConfirmMismatch: return "confirm-mismatch";
+    case RejectReason::kDuplicate: return "duplicate";
   }
   return "?";
+}
+
+// --------------------------------------------------------------- InboundGuard
+
+InboundGuard::Verdict InboundGuard::classify(const Message& msg) const {
+  const auto it = processed_.find(msg.nonce);
+  if (it != processed_.end()) {
+    return it->second.inbound == msg ? Verdict::kDuplicate : Verdict::kReplay;
+  }
+  if (saw_any_nonce_ && msg.nonce <= highest_nonce_) return Verdict::kReplay;
+  return Verdict::kFresh;
+}
+
+void InboundGuard::accept(const Message& msg,
+                          const std::optional<Message>& response) {
+  highest_nonce_ = saw_any_nonce_ ? std::max(highest_nonce_, msg.nonce)
+                                  : msg.nonce;
+  saw_any_nonce_ = true;
+  processed_[msg.nonce] = Entry{msg, response};
+}
+
+std::optional<Message> InboundGuard::response_for(std::uint64_t nonce) const {
+  const auto it = processed_.find(nonce);
+  if (it == processed_.end()) return std::nullopt;
+  return it->second.response;
 }
 
 // ---------------------------------------------------------------- BobSession
@@ -84,16 +110,34 @@ std::optional<Message> BobSession::handle(const Message& msg) {
   last_reject_ = RejectReason::kNone;
   if (msg.session_id != cfg_.session_id) {
     last_reject_ = RejectReason::kBadSession;
+    guard_.count_reject();
     return std::nullopt;
   }
-  if (saw_any_nonce_ && msg.nonce <= highest_seen_nonce_) {
-    last_reject_ = RejectReason::kReplayedNonce;
-    return std::nullopt;
+  switch (guard_.classify(msg)) {
+    case InboundGuard::Verdict::kDuplicate:
+      // ARQ retransmission: the peer did not see our response, so re-elicit
+      // the original one instead of tripping the replay defense.
+      last_reject_ = RejectReason::kDuplicate;
+      guard_.count_duplicate();
+      return guard_.response_for(msg.nonce);
+    case InboundGuard::Verdict::kReplay:
+      last_reject_ = RejectReason::kReplayedNonce;
+      guard_.count_reject();
+      return std::nullopt;
+    case InboundGuard::Verdict::kFresh:
+      break;
   }
-  highest_seen_nonce_ = msg.nonce;
-  saw_any_nonce_ = true;
   next_nonce_ = std::max(next_nonce_, msg.nonce + 1);
+  auto response = dispatch(msg);
+  if (last_reject_ == RejectReason::kNone) {
+    guard_.accept(msg, response);
+  } else {
+    guard_.count_reject();
+  }
+  return response;
+}
 
+std::optional<Message> BobSession::dispatch(const Message& msg) {
   switch (msg.type) {
     case MessageType::kKeyGenRequest: {
       if (state_ != SessionState::kIdle) {
@@ -181,16 +225,32 @@ std::optional<Message> AliceSession::handle(const Message& msg) {
   last_reject_ = RejectReason::kNone;
   if (msg.session_id != cfg_.session_id) {
     last_reject_ = RejectReason::kBadSession;
+    guard_.count_reject();
     return std::nullopt;
   }
-  if (saw_any_nonce_ && msg.nonce <= highest_seen_nonce_) {
-    last_reject_ = RejectReason::kReplayedNonce;
-    return std::nullopt;
+  switch (guard_.classify(msg)) {
+    case InboundGuard::Verdict::kDuplicate:
+      last_reject_ = RejectReason::kDuplicate;
+      guard_.count_duplicate();
+      return guard_.response_for(msg.nonce);
+    case InboundGuard::Verdict::kReplay:
+      last_reject_ = RejectReason::kReplayedNonce;
+      guard_.count_reject();
+      return std::nullopt;
+    case InboundGuard::Verdict::kFresh:
+      break;
   }
-  highest_seen_nonce_ = msg.nonce;
-  saw_any_nonce_ = true;
   next_nonce_ = std::max(next_nonce_, msg.nonce + 1);
+  auto response = dispatch(msg);
+  if (last_reject_ == RejectReason::kNone) {
+    guard_.accept(msg, response);
+  } else {
+    guard_.count_reject();
+  }
+  return response;
+}
 
+std::optional<Message> AliceSession::dispatch(const Message& msg) {
   switch (msg.type) {
     case MessageType::kKeyGenAccept: {
       if (state_ != SessionState::kAwaitAccept) {
@@ -258,18 +318,31 @@ std::optional<Message> AliceSession::handle(const Message& msg) {
 
 // ----------------------------------------------------------------- plumbing
 
-bool run_key_agreement(PublicChannel& channel, AliceSession& alice,
-                       BobSession& bob) {
+AgreementResult run_key_agreement_detailed(PublicChannel& channel,
+                                           AliceSession& alice,
+                                           BobSession& bob,
+                                           std::size_t max_deliveries) {
+  AgreementResult result;
   channel.send(alice.start());
 
   // Bob publishes the syndrome right after accepting; model that by letting
   // the loop below ask Bob for his pending syndrome when he reaches
   // kAwaitConfirm. We synthesize it here from his session state.
   bool syndrome_sent = false;
-  std::size_t guard = 0;
-  while (channel.pending() > 0 && guard++ < 64) {
+  while (channel.pending() > 0) {
+    // Explicit termination: a failed party cannot recover within a session,
+    // so draining the rest of the queue is pointless.
+    if (alice.state() == SessionState::kFailed ||
+        bob.state() == SessionState::kFailed) {
+      break;
+    }
+    if (result.delivered >= max_deliveries) {
+      result.hit_delivery_cap = true;
+      break;
+    }
     auto msg = channel.receive();
     if (!msg) break;
+    ++result.delivered;
     // Route by expected direction: requests/confirms go to Bob, the rest to
     // Alice. (The simulated wire is a single broadcast medium.)
     std::optional<Message> reply;
@@ -287,9 +360,19 @@ bool run_key_agreement(PublicChannel& channel, AliceSession& alice,
       channel.send(bob.make_syndrome());
     }
   }
-  if (alice.state() != SessionState::kEstablished) return false;
-  if (bob.state() != SessionState::kEstablished) return false;
-  return alice.final_key() == bob.final_key();
+  result.alice_state = alice.state();
+  result.bob_state = bob.state();
+  result.alice_reject = alice.last_reject();
+  result.bob_reject = bob.last_reject();
+  result.established = alice.state() == SessionState::kEstablished &&
+                       bob.state() == SessionState::kEstablished &&
+                       alice.final_key() == bob.final_key();
+  return result;
+}
+
+bool run_key_agreement(PublicChannel& channel, AliceSession& alice,
+                       BobSession& bob) {
+  return run_key_agreement_detailed(channel, alice, bob).established;
 }
 
 SecureLink::SecureLink(const BitVec& key128) {

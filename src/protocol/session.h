@@ -17,6 +17,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 
@@ -46,6 +47,10 @@ enum class RejectReason : std::uint8_t {
   kBadState,
   kMalformed,
   kConfirmMismatch,
+  /// Bit-identical retransmission of an already-accepted frame. Benign ARQ
+  /// behaviour (the prior response is re-elicited), kept distinct from
+  /// kReplayedNonce so retransmit suppression is distinguishable from attack.
+  kDuplicate,
 };
 
 std::string to_string(SessionState s);
@@ -54,6 +59,46 @@ std::string to_string(RejectReason r);
 struct SessionConfig {
   std::uint64_t session_id = 1;
   std::size_t final_key_bits = 128;
+};
+
+/// Shared inbound-envelope bookkeeping for both session roles: the replay
+/// window (Sec. IV-C), the duplicate cache that makes retransmission
+/// idempotent, and the per-session robustness counters.
+class InboundGuard {
+ public:
+  enum class Verdict : std::uint8_t {
+    kFresh,      ///< never-seen nonce: process normally
+    kDuplicate,  ///< bit-identical retransmission of an accepted frame
+    kReplay,     ///< old or reused nonce with different content (attack)
+  };
+
+  Verdict classify(const Message& msg) const;
+
+  /// Remember an accepted frame and the response it elicited, and advance
+  /// the replay window. Rejected frames are deliberately *not* recorded so
+  /// an out-of-order frame can still be accepted when retransmitted later.
+  void accept(const Message& msg, const std::optional<Message>& response);
+
+  /// The response originally elicited by the frame with this nonce
+  /// (nullopt when it produced none, or the nonce was never accepted).
+  std::optional<Message> response_for(std::uint64_t nonce) const;
+
+  void count_duplicate() { ++duplicates_suppressed_; }
+  void count_reject() { ++rejects_; }
+
+  std::size_t duplicates_suppressed() const { return duplicates_suppressed_; }
+  std::size_t rejects() const { return rejects_; }
+
+ private:
+  struct Entry {
+    Message inbound;
+    std::optional<Message> response;
+  };
+  std::map<std::uint64_t, Entry> processed_;
+  std::uint64_t highest_nonce_ = 0;
+  bool saw_any_nonce_ = false;
+  std::size_t duplicates_suppressed_ = 0;
+  std::size_t rejects_ = 0;
 };
 
 class BobSession {
@@ -71,11 +116,20 @@ class BobSession {
 
   SessionState state() const { return state_; }
   RejectReason last_reject() const { return last_reject_; }
+  const SessionConfig& config() const { return cfg_; }
+
+  /// Robustness counters (suppressed retransmissions / rejected frames).
+  std::size_t duplicates_suppressed() const {
+    return guard_.duplicates_suppressed();
+  }
+  std::size_t rejected_count() const { return guard_.rejects(); }
 
   /// Final 128-bit key; valid once state() == kEstablished.
   BitVec final_key() const;
 
  private:
+  std::optional<Message> dispatch(const Message& msg);
+
   SessionConfig cfg_;
   const core::AutoencoderReconciler& reconciler_;
   BitVec raw_key_;
@@ -83,8 +137,7 @@ class BobSession {
   SessionState state_ = SessionState::kIdle;
   RejectReason last_reject_ = RejectReason::kNone;
   std::uint64_t next_nonce_ = 0;
-  std::uint64_t highest_seen_nonce_ = 0;
-  bool saw_any_nonce_ = false;
+  InboundGuard guard_;
 };
 
 class AliceSession {
@@ -99,10 +152,18 @@ class AliceSession {
 
   SessionState state() const { return state_; }
   RejectReason last_reject() const { return last_reject_; }
+  const SessionConfig& config() const { return cfg_; }
+
+  std::size_t duplicates_suppressed() const {
+    return guard_.duplicates_suppressed();
+  }
+  std::size_t rejected_count() const { return guard_.rejects(); }
 
   BitVec final_key() const;
 
  private:
+  std::optional<Message> dispatch(const Message& msg);
+
   SessionConfig cfg_;
   const core::AutoencoderReconciler& reconciler_;
   BitVec raw_key_;
@@ -111,12 +172,32 @@ class AliceSession {
   SessionState state_ = SessionState::kIdle;
   RejectReason last_reject_ = RejectReason::kNone;
   std::uint64_t next_nonce_ = 0;
-  std::uint64_t highest_seen_nonce_ = 0;
-  bool saw_any_nonce_ = false;
+  InboundGuard guard_;
 };
 
-/// Drive both parties over a channel until quiescence; returns true when
-/// both sessions established the same key.
+/// Structured outcome of driving a key agreement to termination.
+struct AgreementResult {
+  bool established = false;  ///< both parties established the *same* key
+  SessionState alice_state = SessionState::kIdle;
+  SessionState bob_state = SessionState::kIdle;
+  RejectReason alice_reject = RejectReason::kNone;
+  RejectReason bob_reject = RejectReason::kNone;
+  std::size_t delivered = 0;      ///< frames pulled off the channel
+  bool hit_delivery_cap = false;  ///< stopped by the safety cap, not quiescence
+
+  explicit operator bool() const { return established; }
+};
+
+/// Drive both parties over a channel until explicit termination: either
+/// party reaching kFailed, both established, the queue draining, or the
+/// delivery cap (a runaway guard against interceptors that forge unbounded
+/// traffic). Returns the terminal state and reject reason of both parties.
+AgreementResult run_key_agreement_detailed(PublicChannel& channel,
+                                           AliceSession& alice,
+                                           BobSession& bob,
+                                           std::size_t max_deliveries = 256);
+
+/// Boolean shim over run_key_agreement_detailed for existing callers.
 bool run_key_agreement(PublicChannel& channel, AliceSession& alice,
                        BobSession& bob);
 

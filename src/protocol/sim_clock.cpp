@@ -1,0 +1,50 @@
+#include "protocol/sim_clock.h"
+
+namespace vkey::protocol {
+
+SimClock::EventId SimClock::schedule(double delay_ms, Callback fn) {
+  if (delay_ms < 0.0) delay_ms = 0.0;
+  const EventId id = next_id_++;
+  const double due = now_ms_ + delay_ms;
+  queue_.emplace(Key{due, id}, std::move(fn));
+  due_.emplace(id, due);
+  return id;
+}
+
+bool SimClock::cancel(EventId id) {
+  const auto it = due_.find(id);
+  if (it == due_.end()) return false;
+  queue_.erase(Key{it->second, id});
+  due_.erase(it);
+  return true;
+}
+
+bool SimClock::run_next() {
+  if (queue_.empty()) return false;
+  auto head = queue_.begin();
+  const Key key = head->first;
+  Callback fn = std::move(head->second);
+  queue_.erase(head);
+  due_.erase(key.second);
+  now_ms_ = key.first;  // time never moves backwards: due >= schedule time
+  fn();
+  return true;
+}
+
+std::size_t SimClock::run_until(double until_ms) {
+  std::size_t ran = 0;
+  while (!queue_.empty() && queue_.begin()->first.first <= until_ms) {
+    run_next();
+    ++ran;
+  }
+  if (until_ms > now_ms_) now_ms_ = until_ms;
+  return ran;
+}
+
+std::size_t SimClock::run_until_idle(std::size_t max_events) {
+  std::size_t ran = 0;
+  while (ran < max_events && run_next()) ++ran;
+  return ran;
+}
+
+}  // namespace vkey::protocol

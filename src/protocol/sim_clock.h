@@ -1,0 +1,59 @@
+// Deterministic virtual-clock event scheduler.
+//
+// The reliability layer (ARQ timeouts, fault-injected delivery latency,
+// duplicate echoes) needs a notion of time, but wall-clock time would make
+// every test slow and flaky. SimClock keeps virtual milliseconds: events are
+// scheduled at absolute due times and executed in (due_time, insertion order)
+// order, so two events at the same instant fire FIFO and every run is
+// bit-reproducible. Callbacks may schedule or cancel further events while
+// running — the scheduler snapshots the head entry before invoking it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+namespace vkey::protocol {
+
+class SimClock {
+ public:
+  using EventId = std::uint64_t;
+  using Callback = std::function<void()>;
+
+  /// Current virtual time [ms]. Starts at 0.
+  double now_ms() const { return now_ms_; }
+
+  /// Schedule `fn` to run `delay_ms` from now (negative delays clamp to 0).
+  /// Returns an id usable with cancel().
+  EventId schedule(double delay_ms, Callback fn);
+
+  /// Remove a pending event; returns false when it already ran or was
+  /// cancelled (cancelling a dead id is not an error — ARQ timers race
+  /// with ACK arrivals by design).
+  bool cancel(EventId id);
+
+  /// Run the earliest pending event, advancing now_ms() to its due time.
+  /// Returns false when the queue is empty.
+  bool run_next();
+
+  /// Run every event due at or before `until_ms`, then advance the clock to
+  /// `until_ms` (even if idle earlier). Returns the number of events run.
+  std::size_t run_until(double until_ms);
+
+  /// Drain the queue completely (bounded by `max_events` as a runaway
+  /// guard). Returns the number of events run.
+  std::size_t run_until_idle(std::size_t max_events = 1u << 20);
+
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  using Key = std::pair<double, EventId>;  // (due time, insertion order)
+
+  double now_ms_ = 0.0;
+  EventId next_id_ = 1;
+  std::map<Key, Callback> queue_;
+  std::map<EventId, double> due_;  // id -> due time, for cancel()
+};
+
+}  // namespace vkey::protocol

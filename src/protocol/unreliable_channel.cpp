@@ -1,0 +1,93 @@
+#include "protocol/unreliable_channel.h"
+
+#include "common/error.h"
+#include "protocol/message.h"
+
+namespace vkey::protocol {
+
+UnreliableChannel::UnreliableChannel(SimClock& clock, PublicChannel& base,
+                                     const FaultConfig& faults,
+                                     const channel::LoRaParams& radio)
+    : clock_(clock),
+      base_(base),
+      faults_(faults),
+      radio_(radio),
+      rng_(faults.seed) {
+  VKEY_REQUIRE(faults.drop_prob >= 0.0 && faults.drop_prob < 1.0,
+               "drop probability must be in [0, 1)");
+  VKEY_REQUIRE(faults.dup_prob >= 0.0 && faults.dup_prob <= 1.0 &&
+                   faults.corrupt_prob >= 0.0 && faults.corrupt_prob <= 1.0 &&
+                   faults.reorder_prob >= 0.0 && faults.reorder_prob <= 1.0,
+               "fault probabilities must be in [0, 1]");
+}
+
+void UnreliableChannel::set_handler(Endpoint endpoint, Handler handler) {
+  handlers_[static_cast<int>(endpoint)] = std::move(handler);
+}
+
+double UnreliableChannel::airtime_ms(const Message& msg) const {
+  channel::LoRaParams p = radio_;
+  p.payload_bytes = static_cast<int>(serialize(msg).size());
+  return channel::LoRaPhy(p).airtime() * 1000.0;
+}
+
+double UnreliableChannel::nominal_latency_ms(const Message& msg) const {
+  return airtime_ms(msg) + faults_.processing_delay_ms;
+}
+
+void UnreliableChannel::deliver(Endpoint to, const Message& msg,
+                                double delay_ms) {
+  Handler& handler = handlers_[static_cast<int>(to)];
+  VKEY_REQUIRE(static_cast<bool>(handler), "endpoint handler not installed");
+  clock_.schedule(delay_ms, [this, to, msg] {
+    ++stats_.delivered;
+    handlers_[static_cast<int>(to)](msg);
+  });
+}
+
+void UnreliableChannel::send(Endpoint from, const Message& msg) {
+  ++stats_.sent;
+  const Endpoint to =
+      from == Endpoint::kAlice ? Endpoint::kBob : Endpoint::kAlice;
+
+  // Through the base channel first: keeps the eavesdropper transcript and
+  // lets an installed MITM interceptor rewrite or drop the frame.
+  base_.send(msg);
+  auto in_flight = base_.receive();
+  if (!in_flight.has_value()) return;  // intercepted and dropped
+
+  if (rng_.bernoulli(faults_.drop_prob)) {
+    ++stats_.dropped;
+    return;
+  }
+
+  if (rng_.bernoulli(faults_.corrupt_prob)) {
+    auto bytes = serialize(*in_flight);
+    const int flips = 1 + static_cast<int>(rng_.uniform_int(3));
+    for (int f = 0; f < flips; ++f) {
+      bytes[rng_.uniform_int(bytes.size())] ^=
+          static_cast<std::uint8_t>(1u << rng_.uniform_int(8));
+    }
+    ++stats_.corrupted;
+    auto reparsed = deserialize(bytes);
+    if (!reparsed.has_value()) {
+      ++stats_.crc_lost;  // the radio CRC would have rejected this frame
+      return;
+    }
+    in_flight = std::move(reparsed);
+  }
+
+  double delay = nominal_latency_ms(msg);
+  if (rng_.bernoulli(faults_.reorder_prob)) {
+    ++stats_.reordered;
+    delay += rng_.uniform(0.0, faults_.reorder_window_ms);
+  }
+  deliver(to, *in_flight, delay);
+
+  if (rng_.bernoulli(faults_.dup_prob)) {
+    ++stats_.duplicated;
+    deliver(to, *in_flight, delay + faults_.dup_delay_ms);
+  }
+}
+
+}  // namespace vkey::protocol

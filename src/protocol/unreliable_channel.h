@@ -1,0 +1,93 @@
+// Fault-injecting decorator over PublicChannel.
+//
+// Real SX127x links drop, duplicate, reorder and corrupt frames, and every
+// frame occupies the air for a duration given by the LoRa PHY timing
+// formulas. UnreliableChannel models all of that on top of the existing
+// PublicChannel (which keeps the eavesdropper transcript and the active-
+// attacker interceptor hook): each send() passes through the base channel
+// first — so Eve's view and MITM interception are unchanged — and is then
+// subjected to a seeded fault model before being delivered to the far
+// endpoint through the SimClock:
+//
+//   * drop:        frame lost with probability drop_prob;
+//   * corruption:  1..3 random bit flips in the serialized frame with
+//                  probability corrupt_prob (an unparseable frame counts as
+//                  lost — the radio CRC would have discarded it);
+//   * latency:     time-on-air of the serialized frame (channel::LoRaPhy)
+//                  plus a fixed processing delay;
+//   * reordering:  extra uniform delay in [0, reorder_window_ms] with
+//                  probability reorder_prob, letting later frames overtake;
+//   * duplication: a second copy delivered dup_delay_ms later with
+//                  probability dup_prob.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "channel/lora_phy.h"
+#include "common/rng.h"
+#include "protocol/channel.h"
+#include "protocol/sim_clock.h"
+
+namespace vkey::protocol {
+
+/// Seeded fault model parameters (probabilities in [0, 1]).
+struct FaultConfig {
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  double corrupt_prob = 0.0;
+  double reorder_prob = 0.0;
+  double reorder_window_ms = 400.0;  ///< max extra delay for reordered frames
+  double dup_delay_ms = 150.0;       ///< echo delay of a duplicated frame
+  double processing_delay_ms = 5.0;  ///< rx chain latency on top of airtime
+  std::uint64_t seed = 1;
+};
+
+struct LinkStats {
+  std::size_t sent = 0;       ///< frames handed to the link
+  std::size_t delivered = 0;  ///< frames that reached the far endpoint
+  std::size_t dropped = 0;    ///< lost to the drop fault
+  std::size_t corrupted = 0;  ///< frames with injected bit errors
+  std::size_t crc_lost = 0;   ///< corrupted beyond parsing (radio CRC drop)
+  std::size_t duplicated = 0;
+  std::size_t reordered = 0;
+};
+
+/// A two-endpoint lossy link. Endpoint 0 is Alice's radio, endpoint 1 Bob's;
+/// send(from, msg) delivers to the opposite endpoint's handler via the
+/// virtual clock.
+class UnreliableChannel {
+ public:
+  enum class Endpoint : int { kAlice = 0, kBob = 1 };
+  using Handler = std::function<void(const Message&)>;
+
+  UnreliableChannel(SimClock& clock, PublicChannel& base,
+                    const FaultConfig& faults,
+                    const channel::LoRaParams& radio);
+
+  void set_handler(Endpoint endpoint, Handler handler);
+
+  void send(Endpoint from, const Message& msg);
+
+  /// Time-on-air [ms] of `msg` serialized onto the configured radio.
+  double airtime_ms(const Message& msg) const;
+
+  /// One-way delivery latency [ms] excluding fault-induced extra delay.
+  double nominal_latency_ms(const Message& msg) const;
+
+  const LinkStats& stats() const { return stats_; }
+  const FaultConfig& faults() const { return faults_; }
+
+ private:
+  void deliver(Endpoint to, const Message& msg, double delay_ms);
+
+  SimClock& clock_;
+  PublicChannel& base_;
+  FaultConfig faults_;
+  channel::LoRaParams radio_;
+  vkey::Rng rng_;
+  Handler handlers_[2];
+  LinkStats stats_;
+};
+
+}  // namespace vkey::protocol

@@ -82,7 +82,7 @@ TEST_F(AttackTest, MitmTamperIsDetectedByMac) {
   EXPECT_EQ(alice.last_reject(), RejectReason::kMacMismatch);
 }
 
-TEST_F(AttackTest, ReplayedSyndromeRejectedByNonceWindow) {
+TEST_F(AttackTest, ReplayedSyndromeCannotDisturbTheSession) {
   const BitVec kb = random_key(4);
   BitVec ka = kb;
   ka.flip(11);
@@ -94,9 +94,19 @@ TEST_F(AttackTest, ReplayedSyndromeRejectedByNonceWindow) {
 
   const auto syndrome = find_syndrome(ch);
   ASSERT_TRUE(syndrome.has_value());
-  // Replaying the captured syndrome at Alice: her nonce window has moved on.
-  EXPECT_FALSE(alice.handle(make_replay(*syndrome)).has_value());
+  // Replaying the captured syndrome bit-identically is indistinguishable
+  // from an ARQ retransmission: it is suppressed as a duplicate (the cached
+  // response is re-elicited) and the established state is untouched.
+  alice.handle(make_replay(*syndrome));
+  EXPECT_EQ(alice.last_reject(), RejectReason::kDuplicate);
+  EXPECT_EQ(alice.state(), SessionState::kEstablished);
+
+  // A *modified* replay under the old nonce is an attack: rejected outright.
+  Message forged = make_replay(*syndrome);
+  forged.payload[0] ^= 0xff;
+  EXPECT_FALSE(alice.handle(forged).has_value());
   EXPECT_EQ(alice.last_reject(), RejectReason::kReplayedNonce);
+  EXPECT_EQ(alice.state(), SessionState::kEstablished);
 }
 
 TEST_F(AttackTest, TamperInterceptorPassesOtherTraffic) {

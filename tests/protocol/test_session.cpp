@@ -95,7 +95,7 @@ TEST_F(SessionTest, SessionIdMismatchRejected) {
   EXPECT_EQ(bob.last_reject(), RejectReason::kBadSession);
 }
 
-TEST_F(SessionTest, ReplayedNonceRejected) {
+TEST_F(SessionTest, DuplicateRetransmissionDistinctFromReplay) {
   const BitVec k = random_key(7);
   SessionConfig cfg;
   BobSession bob(cfg, *reconciler_, k);
@@ -103,9 +103,28 @@ TEST_F(SessionTest, ReplayedNonceRejected) {
   req.type = MessageType::kKeyGenRequest;
   req.session_id = cfg.session_id;
   req.nonce = 5;
-  EXPECT_TRUE(bob.handle(req).has_value());
-  // Replay the identical message: the nonce window must reject it.
-  EXPECT_FALSE(bob.handle(req).has_value());
+  const auto first = bob.handle(req);
+  ASSERT_TRUE(first.has_value());
+
+  // A bit-identical retransmission is benign ARQ behaviour: it re-elicits
+  // the original response and is surfaced as kDuplicate, not an attack.
+  const auto again = bob.handle(req);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, *first);
+  EXPECT_EQ(bob.last_reject(), RejectReason::kDuplicate);
+  EXPECT_EQ(bob.duplicates_suppressed(), 1u);
+
+  // Same nonce with different content is a forged replay: rejected.
+  Message forged = req;
+  forged.payload = {0xde, 0xad};
+  EXPECT_FALSE(bob.handle(forged).has_value());
+  EXPECT_EQ(bob.last_reject(), RejectReason::kReplayedNonce);
+  EXPECT_GE(bob.rejected_count(), 1u);
+
+  // An old, never-accepted nonce is also a replay.
+  Message stale = req;
+  stale.nonce = 4;
+  EXPECT_FALSE(bob.handle(stale).has_value());
   EXPECT_EQ(bob.last_reject(), RejectReason::kReplayedNonce);
 }
 
