@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "channel/trace.h"
+#include "common/bench_io.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/dataset.h"
@@ -44,11 +45,11 @@ struct ReconcilerScore {
 };
 
 ReconcilerScore score_reconciler(const AutoencoderReconciler& rec,
-                                 bool one_shot, std::uint64_t seed) {
+                                 bool one_shot, std::uint64_t seed,
+                                 int trials) {
   vkey::Rng rng(seed);
   const std::size_t n = rec.config().key_bits;
   double kar = 0.0, succ = 0.0, eve = 0.0;
-  const int trials = 150;
   for (int t = 0; t < trials; ++t) {
     BitVec kb(n), ke(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -73,8 +74,10 @@ ReconcilerScore score_reconciler(const AutoencoderReconciler& rec,
 
 }  // namespace
 
-int main() {
-  const auto rounds = make_trace(123, 300);
+int main(int argc, char** argv) {
+  BenchReport report("ablation", argc, argv);
+  const int trials = static_cast<int>(report.scaled(150, 40));
+  const auto rounds = make_trace(123, report.scaled(300, 80));
   const ArRssiExtractor ex(0.04);
 
   // --- A1: pairing strategy ---
@@ -99,7 +102,9 @@ int main() {
     t.add_row({"naive same-position",
                Table::fmt(stats::pearson(naive.alice, naive.bob), 3),
                Table::pct(quantized_agreement(naive))});
-    t.print("A1: window pairing strategy (V2V urban, 50 km/h)");
+    const std::string caption = "A1: window pairing strategy (V2V urban, 50 km/h)";
+    t.print(caption);
+    report.add_table("ablation_a1_pairing", caption, t);
     std::printf("\n");
   }
 
@@ -111,7 +116,9 @@ int main() {
       t.add_row({std::to_string(k), std::to_string(k),
                  Table::pct(quantized_agreement(st))});
     }
-    t.print("A2: reciprocal-zone width (rate vs agreement)");
+    const std::string caption = "A2: reciprocal-zone width (rate vs agreement)";
+    t.print(caption);
+    report.add_table("ablation_a2_windows", caption, t);
     std::printf("\n");
   }
 
@@ -132,12 +139,14 @@ int main() {
       rc.freeze_encoder = c.freeze;
       rc.decoder_units = 64;
       AutoencoderReconciler rec(rc);
-      rec.train(2500, 25);
-      const auto s = score_reconciler(rec, /*one_shot=*/false, 7);
+      rec.train(report.scaled(2500, 600), report.scaled(25, 6));
+      const auto s = score_reconciler(rec, /*one_shot=*/false, 7, trials);
       t.add_row({c.name, Table::pct(s.kar), Table::pct(s.success),
                  Table::pct(s.eve)});
     }
-    t.print("A3/A4: reconciler encoder ablation");
+    const std::string caption = "A3/A4: reconciler encoder ablation";
+    t.print(caption);
+    report.add_table("ablation_a3_a4_encoder", caption, t);
     std::printf("\n");
   }
 
@@ -146,15 +155,18 @@ int main() {
     ReconcilerConfig rc;
     rc.decoder_units = 64;
     AutoencoderReconciler rec(rc);
-    rec.train(2500, 25);
+    rec.train(report.scaled(2500, 600), report.scaled(25, 6));
     Table t({"decode", "KAR @6% BER", "exact blocks", "Eve"});
-    const auto greedy = score_reconciler(rec, false, 9);
-    const auto one_shot = score_reconciler(rec, true, 9);
+    const auto greedy = score_reconciler(rec, false, 9, trials);
+    const auto one_shot = score_reconciler(rec, true, 9, trials);
     t.add_row({"greedy verified (default)", Table::pct(greedy.kar),
                Table::pct(greedy.success), Table::pct(greedy.eve)});
     t.add_row({"one-shot decoder pass", Table::pct(one_shot.kar),
                Table::pct(one_shot.success), Table::pct(one_shot.eve)});
-    t.print("A5: decoding strategy (same trained model)");
+    const std::string caption = "A5: decoding strategy (same trained model)";
+    t.print(caption);
+    report.add_table("ablation_a5_decode", caption, t);
   }
+  report.write();
   return 0;
 }

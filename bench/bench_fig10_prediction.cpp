@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "channel/trace.h"
+#include "common/bench_io.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/dataset.h"
@@ -26,13 +27,13 @@ struct Outcome {
   double without_pred_std = 0.0;
 };
 
-Outcome evaluate(ScenarioKind kind) {
+Outcome evaluate(const BenchReport& report, ScenarioKind kind) {
   TraceConfig tc;
   tc.scenario = make_scenario(kind, 50.0);
   tc.seed = 10 + static_cast<std::uint64_t>(kind);
   TraceGenerator gen(tc);
-  const auto train_rounds = gen.generate(800);
-  const auto test_rounds = gen.generate(300);
+  const auto train_rounds = gen.generate(report.scaled(800, 150));
+  const auto test_rounds = gen.generate(report.scaled(300, 80));
 
   DatasetConfig dc;
   dc.stride = 4;
@@ -47,7 +48,7 @@ Outcome evaluate(ScenarioKind kind) {
   pc.hidden = 32;
   pc.seed = 3;
   PredictorQuantizer predictor(pc);
-  predictor.train(train, 30);
+  predictor.train(train, report.scaled(30, 8));
 
   QuantizerConfig qc = dc.quantizer;
   qc.block_size = std::min<std::size_t>(qc.block_size, dc.seq_len);
@@ -70,10 +71,11 @@ Outcome evaluate(ScenarioKind kind) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig10_prediction", argc, argv);
   Table t({"scenario", "without prediction", "with prediction", "gain (pp)"});
   for (const auto kind : kAllScenarios) {
-    const Outcome o = evaluate(kind);
+    const Outcome o = evaluate(report, kind);
     t.add_row({to_string(kind),
                Table::pct(o.without_pred) + " ± " +
                    Table::pct(o.without_pred_std, 1),
@@ -81,7 +83,11 @@ int main() {
                    Table::pct(o.with_pred_std, 1),
                Table::fmt(100.0 * (o.with_pred - o.without_pred), 2)});
   }
-  t.print("Fig. 10: key agreement rate with vs without the prediction module"
-          " (pre-reconciliation)");
+  const std::string caption =
+      "Fig. 10: key agreement rate with vs without the prediction module"
+      " (pre-reconciliation)";
+  t.print(caption);
+  report.add_table("fig10_prediction", caption, t);
+  report.write();
   return 0;
 }

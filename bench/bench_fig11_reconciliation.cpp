@@ -10,6 +10,7 @@
 // magnitude cheaper.
 #include <vector>
 
+#include "common/bench_io.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -23,7 +24,6 @@ using namespace vkey::core;
 namespace {
 
 constexpr std::size_t kKeyBits = 64;
-constexpr int kTrials = 150;
 
 // Mismatch rates representative of the channel after arRSSI + prediction.
 constexpr double kBerLevels[] = {0.03, 0.06, 0.09};
@@ -33,17 +33,17 @@ struct Sample {
   BitVec alice;
 };
 
-std::vector<Sample> make_pairs(std::uint64_t seed) {
+std::vector<Sample> make_pairs(std::uint64_t seed, std::size_t trials) {
   vkey::Rng rng(seed);
   std::vector<Sample> out;
-  for (int t = 0; t < kTrials; ++t) {
+  for (std::size_t t = 0; t < trials; ++t) {
     Sample s;
     s.bob = BitVec(kKeyBits);
     for (std::size_t i = 0; i < kKeyBits; ++i) {
       s.bob.set(i, rng.bernoulli(0.5));
     }
     s.alice = s.bob;
-    const double ber = kBerLevels[static_cast<std::size_t>(t) % 3];
+    const double ber = kBerLevels[t % 3];
     for (std::size_t i = 0; i < kKeyBits; ++i) {
       if (rng.bernoulli(ber)) s.alice.flip(i);
     }
@@ -54,8 +54,9 @@ std::vector<Sample> make_pairs(std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
-  const auto pairs = make_pairs(77);
+int main(int argc, char** argv) {
+  BenchReport report("fig11_reconciliation", argc, argv);
+  const auto pairs = make_pairs(77, report.scaled(150, 40));
 
   Table t({"method", "agreement", "std", "cost (MAC ops/block)"});
 
@@ -65,7 +66,7 @@ int main() {
     cfg.decoder_units = units;
     cfg.seed = 5;
     AutoencoderReconciler rec(cfg);
-    rec.train(3000, 30);
+    rec.train(report.scaled(3000, 600), report.scaled(30, 8));
 
     std::vector<double> kar;
     std::size_t total_macs = 0;
@@ -123,8 +124,12 @@ int main() {
                std::to_string(total_macs / pairs.size())});
   }
 
-  t.print("Fig. 11: reconciliation quality and cost "
-          "(64-bit blocks, BER in {3%, 6%, 9%}; BCH row is an extra "
-          "comparison beyond the paper)");
+  const std::string caption =
+      "Fig. 11: reconciliation quality and cost "
+      "(64-bit blocks, BER in {3%, 6%, 9%}; BCH row is an extra "
+      "comparison beyond the paper)";
+  t.print(caption);
+  report.add_table("fig11_reconciliation", caption, t);
+  report.write();
   return 0;
 }

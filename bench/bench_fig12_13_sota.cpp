@@ -16,6 +16,7 @@
 #include "baselines/han.h"
 #include "baselines/lorakey.h"
 #include "channel/trace.h"
+#include "common/bench_io.h"
 #include "common/table.h"
 #include "core/pipeline.h"
 
@@ -30,23 +31,26 @@ struct Row {
   double kgr = 0.0;
 };
 
-Row run_vehicle_key(ScenarioKind kind, std::uint64_t seed) {
+Row run_vehicle_key(const BenchReport& report, ScenarioKind kind,
+                    std::uint64_t seed) {
   core::PipelineConfig cfg;
   cfg.trace.scenario = make_scenario(kind, 50.0);
   cfg.trace.seed = seed;
   cfg.predictor.hidden = 32;
-  cfg.predictor_epochs = 25;
+  cfg.predictor_epochs = report.scaled(25, 6);
   cfg.reconciler.decoder_units = 64;
-  cfg.reconciler_epochs = 25;
-  cfg.reconciler_samples = 3000;
+  cfg.reconciler_epochs = report.scaled(25, 6);
+  cfg.reconciler_samples = report.scaled(3000, 600);
   core::KeyGenPipeline pipeline(cfg);
-  const auto m = pipeline.run(700, 500);
+  const auto m =
+      pipeline.run(report.scaled(700, 120), report.scaled(500, 120));
   return {m.mean_kar_post, m.std_kar_post, m.kgr_bits_per_s};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig12_13_sota", argc, argv);
   Table kar_table({"scenario", "Vehicle-Key", "LoRa-Key", "Han et al.",
                    "Gao et al."});
   Table kgr_table({"scenario", "Vehicle-Key", "LoRa-Key", "Han et al.",
@@ -60,10 +64,10 @@ int main() {
     tc.scenario = make_scenario(kind, 50.0);
     tc.seed = seed;
     TraceGenerator gen(tc);
-    const auto rounds = gen.generate(1200);
+    const auto rounds = gen.generate(report.scaled(1200, 250));
     const double dur = gen.round_duration();
 
-    const Row vk = run_vehicle_key(kind, seed);
+    const Row vk = run_vehicle_key(report, kind, seed);
     const auto lk = baselines::LoRaKey().run(rounds, dur);
     const auto han = baselines::HanV2V().run(rounds, dur);
     const auto gao = baselines::GaoModel().run(rounds, dur);
@@ -80,8 +84,15 @@ int main() {
                        Table::fmt(gao.kgr_bits_per_s, 3)});
   }
 
-  kar_table.print("Fig. 12: key agreement rate vs state of the art");
+  const std::string kar_caption =
+      "Fig. 12: key agreement rate vs state of the art";
+  const std::string kgr_caption =
+      "Fig. 13: key generation rate (net secret bit/s)";
+  kar_table.print(kar_caption);
   std::printf("\n");
-  kgr_table.print("Fig. 13: key generation rate (net secret bit/s)");
+  kgr_table.print(kgr_caption);
+  report.add_table("fig12_kar", kar_caption, kar_table);
+  report.add_table("fig13_kgr", kgr_caption, kgr_table);
+  report.write();
   return 0;
 }

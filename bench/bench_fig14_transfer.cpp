@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "channel/trace.h"
+#include "common/bench_io.h"
 #include "common/table.h"
 #include "core/dataset.h"
 #include "core/predictor.h"
@@ -27,13 +28,14 @@ struct Env {
   std::vector<TrainingSample> test;
 };
 
-Env make_env(ScenarioKind kind, std::uint64_t seed) {
+Env make_env(const BenchReport& report, ScenarioKind kind,
+             std::uint64_t seed) {
   TraceConfig tc;
   tc.scenario = make_scenario(kind, 50.0);
   tc.seed = seed;
   TraceGenerator gen(tc);
-  const auto train_rounds = gen.generate(700);
-  const auto test_rounds = gen.generate(250);
+  const auto train_rounds = gen.generate(report.scaled(700, 120));
+  const auto test_rounds = gen.generate(report.scaled(250, 60));
   DatasetConfig dc;
   dc.stride = 4;
   Env env;
@@ -57,15 +59,18 @@ double agreement_on(const PredictorQuantizer& model,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig14_transfer", argc, argv);
+  const std::size_t fine_tune_epochs = report.scaled(kFineTuneEpochs, 3);
+  const std::size_t scratch_epochs = report.scaled(kScratchEpochs, 6);
   PredictorConfig pc;
   pc.hidden = 32;
   pc.seed = 3;
 
   // Base model M1 = V2I-Urban.
-  const Env base_env = make_env(ScenarioKind::kV2IUrban, 61);
+  const Env base_env = make_env(report, ScenarioKind::kV2IUrban, 61);
   PredictorQuantizer base(pc);
-  base.train(base_env.train, kScratchEpochs);
+  base.train(base_env.train, scratch_epochs);
   const auto base_weights = nn::snapshot(base.parameters());
 
   Table t({"target", "transfer-10%", "transfer-50%", "transfer-100%",
@@ -76,7 +81,8 @@ int main() {
   const char* names[] = {"M1->M2 (V2I-Rural)", "M1->M3 (V2V-Urban)",
                          "M1->M4 (V2V-Rural)"};
   for (int i = 0; i < 3; ++i) {
-    const Env env = make_env(targets[i], 70 + static_cast<std::uint64_t>(i));
+    const Env env =
+        make_env(report, targets[i], 70 + static_cast<std::uint64_t>(i));
     std::vector<std::string> row{names[i]};
 
     for (double frac : {0.1, 0.5, 1.0}) {
@@ -87,18 +93,22 @@ int main() {
       const std::vector<TrainingSample> subset(env.train.begin(),
                                                env.train.begin() +
                                                    static_cast<std::ptrdiff_t>(n));
-      tuned.train(subset, kFineTuneEpochs);
+      tuned.train(subset, fine_tune_epochs);
       row.push_back(Table::pct(agreement_on(tuned, env.test)));
     }
 
     PredictorQuantizer scratch(pc);
-    scratch.train(env.train, kScratchEpochs);
+    scratch.train(env.train, scratch_epochs);
     row.push_back(Table::pct(agreement_on(scratch, env.test)));
     t.add_row(std::move(row));
   }
-  t.print("Fig. 14: transfer learning from the V2I-Urban base model "
-          "(pre-reconciliation agreement; fine-tune = " +
-          std::to_string(kFineTuneEpochs) + " epochs, scratch = " +
-          std::to_string(kScratchEpochs) + ")");
+  const std::string caption =
+      "Fig. 14: transfer learning from the V2I-Urban base model "
+      "(pre-reconciliation agreement; fine-tune = " +
+      std::to_string(fine_tune_epochs) + " epochs, scratch = " +
+      std::to_string(scratch_epochs) + ")";
+  t.print(caption);
+  report.add_table("fig14_transfer", caption, t);
+  report.write();
   return 0;
 }

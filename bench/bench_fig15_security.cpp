@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "channel/trace.h"
+#include "common/bench_io.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "core/pipeline.h"
@@ -29,17 +30,19 @@ struct SecurityRow {
   double eve_iterative = 0.0;
 };
 
-SecurityRow evaluate(ScenarioKind kind, std::uint64_t seed) {
+SecurityRow evaluate(const BenchReport& report, ScenarioKind kind,
+                     std::uint64_t seed) {
   PipelineConfig cfg;
   cfg.trace.scenario = make_scenario(kind, 50.0);
   cfg.trace.seed = seed;
   cfg.predictor.hidden = 24;
-  cfg.predictor_epochs = 20;
+  cfg.predictor_epochs = report.scaled(20, 5);
   cfg.reconciler.decoder_units = 64;
-  cfg.reconciler_epochs = 25;
-  cfg.reconciler_samples = 3000;
+  cfg.reconciler_epochs = report.scaled(25, 6);
+  cfg.reconciler_samples = report.scaled(3000, 600);
   KeyGenPipeline pipeline(cfg);
-  const auto m = pipeline.run(500, 450);
+  const auto m =
+      pipeline.run(report.scaled(500, 100), report.scaled(450, 110));
   return {m.mean_kar_post, m.mean_eve_kar, m.mean_eve_kar_iterative};
 }
 
@@ -48,7 +51,7 @@ SecurityRow evaluate(ScenarioKind kind, std::uint64_t seed) {
 /// surfaced as kDuplicate) from a forged replay (same nonce, different
 /// content, rejected as kReplayedNonce). Both leave the state machine
 /// untouched, so neither gives an attacker a foothold.
-void print_replay_diagnostics() {
+void print_replay_diagnostics(BenchReport& report) {
   using namespace vkey::protocol;
   ReconcilerConfig rcfg;
   rcfg.key_bits = 64;
@@ -80,12 +83,15 @@ void print_replay_diagnostics() {
              to_string(dup_reason), "no"});
   t.add_row({"forged frame under seen nonce", replay ? "responded" : "none",
              to_string(replay_reason), "no"});
-  t.print("Replay defense: ARQ duplicates vs forged replays");
+  const std::string caption = "Replay defense: ARQ duplicates vs forged replays";
+  t.print(caption);
+  report.add_table("fig15_replay", caption, t);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig15_security", argc, argv);
   Table t({"environment", "legitimate KAR", "Eve (eavesdrop, one-shot)",
            "Eve (iterative decoder)"});
   // The paper aggregates to urban vs rural; report per scenario and the
@@ -93,7 +99,7 @@ int main() {
   double urban_legit = 0, urban_eve = 0, rural_legit = 0, rural_eve = 0;
   for (const auto kind : kAllScenarios) {
     const SecurityRow r =
-        evaluate(kind, 80 + static_cast<std::uint64_t>(kind));
+        evaluate(report, kind, 80 + static_cast<std::uint64_t>(kind));
     t.add_row({to_string(kind), Table::pct(r.legit_kar),
                Table::pct(r.eve_one_shot), Table::pct(r.eve_iterative)});
     const ScenarioConfig sc = make_scenario(kind, 50.0);
@@ -109,13 +115,16 @@ int main() {
              "-"});
   t.add_row({"Rural (mean)", Table::pct(rural_legit), Table::pct(rural_eve),
              "-"});
-  t.print("Fig. 15: security analysis — legitimate vs eavesdropper "
-          "agreement");
+  const std::string caption =
+      "Fig. 15: security analysis — legitimate vs eavesdropper agreement";
+  t.print(caption);
+  report.add_table("fig15_security", caption, t);
   std::printf(
       "\nAt ~50%% per-bit agreement the probability of reproducing a "
       "128-bit amplified key is ~2^-128; any residual advantage is "
       "destroyed by privacy amplification, and a wrong key fails the MAC / "
       "key-confirmation handshake.\n\n");
-  print_replay_diagnostics();
+  print_replay_diagnostics(report);
+  report.write();
   return 0;
 }

@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "channel/trace.h"
+#include "common/bench_io.h"
 #include "common/stats.h"
+#include "common/table.h"
 #include "core/dataset.h"
 
 using namespace vkey;
@@ -19,12 +21,13 @@ using namespace vkey::core;
 
 namespace {
 
-void dump(ScenarioKind kind, std::uint64_t seed) {
+void dump(ScenarioKind kind, std::uint64_t seed, std::size_t rounds_n,
+          Table& corr) {
   TraceConfig cfg;
   cfg.scenario = make_scenario(kind, 50.0);
   cfg.seed = seed;
   TraceGenerator gen(cfg);
-  const auto rounds = gen.generate(120);
+  const auto rounds = gen.generate(rounds_n);
   const ArRssiExtractor ex(0.04);
   const auto st = extract_streams(rounds, ex, 4);
 
@@ -41,21 +44,34 @@ void dump(ScenarioKind kind, std::uint64_t seed) {
     for (std::size_t i = 1; i < x.size(); ++i) d.push_back(x[i] - x[i - 1]);
     return d;
   };
-  std::printf("raw corr:        alice-bob %.3f, alice-eve %.3f\n",
-              stats::pearson(st.alice, st.bob),
-              stats::pearson(st.alice, st.eve));
-  std::printf("small-scale corr: alice-bob %.3f, alice-eve %.3f\n\n",
-              stats::pearson(diff(st.alice), diff(st.bob)),
-              stats::pearson(diff(st.alice), diff(st.eve)));
+  const double raw_ab = stats::pearson(st.alice, st.bob);
+  const double raw_ae = stats::pearson(st.alice, st.eve);
+  const double ss_ab = stats::pearson(diff(st.alice), diff(st.bob));
+  const double ss_ae = stats::pearson(diff(st.alice), diff(st.eve));
+  std::printf("raw corr:        alice-bob %.3f, alice-eve %.3f\n", raw_ab,
+              raw_ae);
+  std::printf("small-scale corr: alice-bob %.3f, alice-eve %.3f\n\n", ss_ab,
+              ss_ae);
+  corr.add_row({to_string(kind), Table::fmt(raw_ab, 3), Table::fmt(raw_ae, 3),
+                Table::fmt(ss_ab, 3), Table::fmt(ss_ae, 3)});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig16_eve_trace", argc, argv);
   std::printf("Fig. 16: arRSSI traces of Alice, Bob and Eve (Eve follows "
               "Alice's route, %0.0f m offset)\n\n",
               TraceConfig{}.eve_offset_m);
-  dump(ScenarioKind::kV2VUrban, 16);
-  dump(ScenarioKind::kV2VRural, 17);
+  Table corr({"scenario", "raw alice-bob", "raw alice-eve",
+              "small-scale alice-bob", "small-scale alice-eve"});
+  const std::size_t rounds = report.scaled(120, 40);
+  dump(ScenarioKind::kV2VUrban, 16, rounds, corr);
+  dump(ScenarioKind::kV2VRural, 17, rounds, corr);
+  report.add_table("fig16_eve_corr",
+                   "Fig. 16: Eve's trace correlation (raw vs small-scale "
+                   "component)",
+                   corr);
+  report.write();
   return 0;
 }

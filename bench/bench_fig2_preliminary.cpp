@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "channel/trace.h"
+#include "common/bench_io.h"
 #include "common/stats.h"
 #include "common/table.h"
 
@@ -30,8 +31,9 @@ double prssi_correlation(const TraceConfig& cfg, std::size_t rounds) {
 
 }  // namespace
 
-int main() {
-  constexpr std::size_t kRounds = 300;
+int main(int argc, char** argv) {
+  BenchReport report("fig2_preliminary", argc, argv);
+  const std::size_t kRounds = report.scaled(300, 60);
 
   {
     Table t({"data rate (bps)", "SF", "BW (kHz)", "CR", "airtime (s)",
@@ -49,7 +51,10 @@ int main() {
                  Table::fmt(phy.airtime(), 2),
                  Table::fmt(prssi_correlation(cfg, kRounds), 3)});
     }
-    t.print("Fig. 2(a): pRSSI correlation vs data rate (V2V urban, 50 km/h)");
+    const std::string caption =
+        "Fig. 2(a): pRSSI correlation vs data rate (V2V urban, 50 km/h)";
+    t.print(caption);
+    report.add_table("fig2a_data_rate", caption, t);
   }
 
   std::printf("\n");
@@ -65,7 +70,11 @@ int main() {
                  Table::fmt(gen.coherence_time_s() * 1e3, 1),
                  Table::fmt(prssi_correlation(cfg, kRounds), 3)});
     }
-    t.print("Fig. 2(b): pRSSI correlation vs vehicle speed (183 bps)");
+    const std::string caption =
+        "Fig. 2(b): pRSSI correlation vs vehicle speed (183 bps)";
+    t.print(caption);
+    report.add_table("fig2b_speed", caption, t);
   }
+  report.write();
   return 0;
 }

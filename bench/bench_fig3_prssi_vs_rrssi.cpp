@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "channel/trace.h"
+#include "common/bench_io.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/arrssi.h"
@@ -16,8 +17,9 @@
 using namespace vkey;
 using namespace vkey::channel;
 
-int main() {
-  constexpr std::size_t kRounds = 400;
+int main(int argc, char** argv) {
+  BenchReport report("fig3_prssi_vs_rrssi", argc, argv);
+  const std::size_t kRounds = report.scaled(400, 80);
   const core::ArRssiExtractor extractor(0.10);
 
   Table t({"experiment", "pRSSI corr", "arRSSI corr", "Eve arRSSI corr"});
@@ -47,6 +49,10 @@ int main() {
                Table::fmt(stats::pearson(aa, ab), 3),
                Table::fmt(stats::pearson(ab, ae), 3)});
   }
-  t.print("Fig. 3: pRSSI vs arRSSI correlation per experiment (50 km/h)");
+  const std::string caption =
+      "Fig. 3: pRSSI vs arRSSI correlation per experiment (50 km/h)";
+  t.print(caption);
+  report.add_table("fig3_correlation", caption, t);
+  report.write();
   return 0;
 }

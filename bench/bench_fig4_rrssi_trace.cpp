@@ -10,13 +10,15 @@
 #include <cstdio>
 
 #include "channel/trace.h"
+#include "common/bench_io.h"
 #include "common/stats.h"
 #include "common/table.h"
 
 using namespace vkey;
 using namespace vkey::channel;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig4_rrssi_trace", argc, argv);
   TraceConfig cfg;
   cfg.scenario = make_scenario(ScenarioKind::kV2VUrban, 50.0);
   cfg.seed = 4;
@@ -49,5 +51,19 @@ int main() {
               bob_tail, alice_head, bob_tail - alice_head);
   std::printf("=> the adjacent windows agree far better than the packet "
               "averages.\n");
+
+  Table summary({"quantity", "bob", "alice", "difference (dB)"});
+  summary.add_row({"pRSSI (dBm)", Table::fmt(round.bob_rx.prssi()),
+                   Table::fmt(round.alice_rx.prssi()),
+                   Table::fmt(round.bob_rx.prssi() - round.alice_rx.prssi())});
+  summary.add_row({"boundary window (dBm)", Table::fmt(bob_tail),
+                   Table::fmt(alice_head),
+                   Table::fmt(bob_tail - alice_head)});
+  report.add_table("fig4_boundary",
+                   "Fig. 4: packet averages vs adjacent boundary windows "
+                   "(V2V urban, 50 km/h, SF12)",
+                   summary);
+  report.add_scalar("rrssi_samples_per_packet", static_cast<double>(n));
+  report.write();
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "channel/trace.h"
+#include "common/bench_io.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/arrssi.h"
@@ -14,12 +15,13 @@
 using namespace vkey;
 using namespace vkey::channel;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig9_arrssi_window", argc, argv);
   TraceConfig cfg;
   cfg.scenario = make_scenario(ScenarioKind::kV2VUrban, 50.0);
   cfg.seed = 9;
   TraceGenerator gen(cfg);
-  const auto rounds = gen.generate(400);
+  const auto rounds = gen.generate(report.scaled(400, 80));
 
   Table t({"window (% of packet)", "window (symbols)", "correlation"});
   for (double w : {0.02, 0.05, 0.08, 0.10, 0.15, 0.20, 0.30, 0.50, 0.80,
@@ -36,7 +38,10 @@ int main() {
                    static_cast<std::size_t>(gen.phy().rssi_samples_per_packet()))),
                Table::fmt(stats::pearson(a, b), 3)});
   }
-  t.print("Fig. 9: arRSSI correlation vs window percentage "
-          "(V2V urban, 50 km/h)");
+  const std::string caption =
+      "Fig. 9: arRSSI correlation vs window percentage (V2V urban, 50 km/h)";
+  t.print(caption);
+  report.add_table("fig9_window", caption, t);
+  report.write();
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/bench_io.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "core/reconciler.h"
@@ -21,8 +22,6 @@ using namespace vkey;
 using namespace vkey::protocol;
 
 namespace {
-
-constexpr int kTrials = 200;
 
 BitVec random_key(std::uint64_t seed) {
   vkey::Rng rng(seed);
@@ -63,12 +62,13 @@ struct SweepRow {
   double mean_attempts = 0.0;
 };
 
-SweepRow sweep(double drop, const core::AutoencoderReconciler& reconciler) {
+SweepRow sweep(double drop, const core::AutoencoderReconciler& reconciler,
+               int trials) {
   SweepRow row;
   int successes = 0;
   std::vector<double> times;
   std::size_t frames = 0, retransmissions = 0, attempts = 0;
-  for (int trial = 0; trial < kTrials; ++trial) {
+  for (int trial = 0; trial < trials; ++trial) {
     ReliabilityConfig cfg;
     cfg.radio.spreading_factor = 7;  // keep virtual timescales compact
     cfg.fault.drop_prob = drop;
@@ -88,13 +88,13 @@ SweepRow sweep(double drop, const core::AutoencoderReconciler& reconciler) {
       times.push_back(report.time_to_establish_ms);
     }
   }
-  row.success_rate = static_cast<double>(successes) / kTrials;
+  row.success_rate = static_cast<double>(successes) / trials;
   row.median_time_ms = median(times);
   row.frames_per_establishment =
       successes > 0 ? static_cast<double>(frames) / successes : 0.0;
   row.retransmissions_per_trial =
-      static_cast<double>(retransmissions) / kTrials;
-  row.mean_attempts = static_cast<double>(attempts) / kTrials;
+      static_cast<double>(retransmissions) / trials;
+  row.mean_attempts = static_cast<double>(attempts) / trials;
   return row;
 }
 
@@ -140,29 +140,37 @@ bool control_matches_seed_path(const core::AutoencoderReconciler& reconciler) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("robustness", argc, argv);
+  const int trials = static_cast<int>(report.scaled(200, 40));
   std::printf("training the shared reconciler...\n");
   core::ReconcilerConfig rcfg;
   rcfg.key_bits = 64;
   rcfg.decoder_units = 64;
   core::AutoencoderReconciler reconciler(rcfg);
-  reconciler.train(2500, 25);
+  reconciler.train(report.scaled(2500, 600), report.scaled(25, 6));
 
   Table t({"drop rate", "success rate", "median time-to-key [virt ms]",
            "frames / establishment", "retx / trial", "mean attempts"});
   for (const double drop : {0.0, 0.05, 0.10, 0.20, 0.30, 0.40}) {
-    const SweepRow row = sweep(drop, reconciler);
+    const SweepRow row = sweep(drop, reconciler, trials);
     t.add_row({Table::pct(drop), Table::pct(row.success_rate),
                Table::fmt(row.median_time_ms, 1),
                Table::fmt(row.frames_per_establishment, 1),
                Table::fmt(row.retransmissions_per_trial, 2),
                Table::fmt(row.mean_attempts, 2)});
   }
-  t.print("Robustness: key establishment vs frame drop rate (" +
-          std::to_string(kTrials) + " trials/rate, SF7 virtual link)");
+  const std::string caption =
+      "Robustness: key establishment vs frame drop rate (" +
+      std::to_string(trials) + " trials/rate, SF7 virtual link)";
+  t.print(caption);
+  report.add_table("robustness_drop_sweep", caption, t);
 
+  const bool control_ok = control_matches_seed_path(reconciler);
   std::printf("\n0%%-drop control matches seed path (same keys, zero "
               "retransmissions): %s\n",
-              control_matches_seed_path(reconciler) ? "yes" : "NO");
-  return 0;
+              control_ok ? "yes" : "NO");
+  report.add_note("control_matches_seed_path", control_ok ? "yes" : "NO");
+  report.write();
+  return control_ok ? 0 : 1;
 }

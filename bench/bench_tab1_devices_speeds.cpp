@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "channel/device.h"
+#include "common/bench_io.h"
 #include "common/table.h"
 #include "core/pipeline.h"
 
@@ -17,8 +18,8 @@ using namespace vkey::core;
 
 namespace {
 
-double kar_for(const DeviceModel& device, double speed,
-               std::uint64_t seed) {
+double kar_for(const BenchReport& report, const DeviceModel& device,
+               double speed, std::uint64_t seed) {
   PipelineConfig cfg;
   cfg.trace.scenario = make_scenario(ScenarioKind::kV2VUrban, speed);
   cfg.trace.device_alice = device;
@@ -27,15 +28,17 @@ double kar_for(const DeviceModel& device, double speed,
   cfg.trace.seed = seed;
   cfg.use_prediction = false;  // isolates channel/device effects
   cfg.reconciler.decoder_units = 64;
-  cfg.reconciler_epochs = 20;
-  cfg.reconciler_samples = 2500;
+  cfg.reconciler_epochs = report.scaled(20, 5);
+  cfg.reconciler_samples = report.scaled(2500, 600);
   KeyGenPipeline pipeline(cfg);
-  return pipeline.run(150, 500).mean_kar_post;
+  return pipeline.run(report.scaled(150, 40), report.scaled(500, 150))
+      .mean_kar_post;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("tab1_devices_speeds", argc, argv);
   const std::vector<std::pair<const char*, DeviceModel>> devices = {
       {"Dragino LoRa Shield", dragino_lora_shield()},
       {"MultiTech xDot", multitech_xdot()},
@@ -49,7 +52,7 @@ int main() {
     std::vector<std::string> row{name};
     double sum = 0.0;
     for (int si = 0; si < 3; ++si) {
-      const double kar = kar_for(device, speeds[si],
+      const double kar = kar_for(report, device, speeds[si],
                                  100 + static_cast<std::uint64_t>(si));
       row.push_back(Table::pct(kar));
       sum += kar;
@@ -61,7 +64,11 @@ int main() {
   t.add_row({"Mean", Table::pct(col_sum[0] / 3.0),
              Table::pct(col_sum[1] / 3.0), Table::pct(col_sum[2] / 3.0),
              Table::pct((col_sum[0] + col_sum[1] + col_sum[2]) / 9.0)});
-  t.print("Table I: key agreement rate per device and speed "
-          "(post-reconciliation)");
+  const std::string caption =
+      "Table I: key agreement rate per device and speed "
+      "(post-reconciliation)";
+  t.print(caption);
+  report.add_table("tab1_kar", caption, t);
+  report.write();
   return 0;
 }

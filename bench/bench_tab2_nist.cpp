@@ -5,6 +5,7 @@
 // p-value above the 1% rejection threshold.
 #include <cstdio>
 
+#include "common/bench_io.h"
 #include "common/table.h"
 #include "core/pipeline.h"
 #include "nist/nist.h"
@@ -13,7 +14,8 @@ using namespace vkey;
 using namespace vkey::channel;
 using namespace vkey::core;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("tab2_nist", argc, argv);
   // Harvest keys from two scenarios to get a long stream.
   BitVec stream;
   for (const auto kind :
@@ -23,10 +25,10 @@ int main() {
     cfg.trace.seed = 90 + static_cast<std::uint64_t>(kind);
     cfg.use_prediction = false;  // fastest path to many key blocks
     cfg.reconciler.decoder_units = 64;
-    cfg.reconciler_epochs = 20;
-    cfg.reconciler_samples = 2500;
+    cfg.reconciler_epochs = report.scaled(20, 5);
+    cfg.reconciler_samples = report.scaled(2500, 600);
     KeyGenPipeline pipeline(cfg);
-    pipeline.run(150, 1200);
+    pipeline.run(report.scaled(150, 40), report.scaled(1200, 300));
     stream.append(pipeline.amplified_key_stream());
   }
   std::printf("collected %zu amplified key bits\n\n", stream.size());
@@ -40,7 +42,12 @@ int main() {
     t.add_row({r.name, Table::fmt(*r.p_value, 6),
                r.pass() ? "pass" : "FAIL"});
   }
-  t.print("Table II: NIST statistical test suite on amplified keys "
-          "(reject if p < 0.01)");
+  const std::string caption =
+      "Table II: NIST statistical test suite on amplified keys "
+      "(reject if p < 0.01)";
+  t.print(caption);
+  report.add_table("tab2_nist", caption, t);
+  report.add_scalar("amplified_key_bits", static_cast<double>(stream.size()));
+  report.write();
   return 0;
 }

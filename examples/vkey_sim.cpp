@@ -26,13 +26,22 @@
 //   --dup P                per-frame duplication probability default 0
 //   --corrupt P            per-frame bit-corruption probability default 0
 //   --link-seed N          fault/backoff seed               default 1
+// Out-of-range probabilities are clamped into [0, 1] (drop into [0, 1))
+// with a warning on stderr.
+//
+// Observability:
+//   --metrics              dump the metrics registry (counters, gauges,
+//                          stage timers) after the run
+//   --metrics-json PATH    write the registry snapshot as JSON to PATH
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/table.h"
 #include "core/pipeline.h"
 #include "protocol/reliability.h"
@@ -50,9 +59,22 @@ namespace {
                "[--test-rounds N] [--hidden N] [--epochs N] "
                "[--decoder-units N] [--seed N] [--no-prediction] "
                "[--drop P] [--reorder P] [--dup P] [--corrupt P] "
-               "[--link-seed N]\n",
+               "[--link-seed N] [--metrics] [--metrics-json PATH]\n",
                argv0);
   std::exit(2);
+}
+
+/// Clamp a fault probability into [lo, hi], warning on stderr when the
+/// value had to be moved (a typo'd `--drop 25` should not silently behave
+/// like certain loss).
+double clamp_prob(const char* flag, double v, double lo, double hi) {
+  const double clamped = std::clamp(v, lo, hi);
+  if (clamped != v) {
+    std::fprintf(stderr,
+                 "vkey_sim: %s %g is outside [%g, %g]; clamping to %g\n",
+                 flag, v, lo, hi, clamped);
+  }
+  return clamped;
 }
 
 ScenarioKind parse_scenario(const std::string& s, const char* argv0) {
@@ -72,6 +94,8 @@ int main(int argc, char** argv) {
   std::size_t train_rounds = 600, test_rounds = 400;
   protocol::FaultConfig fault;
   bool run_link = false;
+  bool dump_metrics = false;
+  std::string metrics_json_path;
   PipelineConfig cfg;
   cfg.predictor.hidden = 32;
   cfg.predictor_epochs = 40;
@@ -93,11 +117,15 @@ int main(int argc, char** argv) {
     else if (arg == "--decoder-units") cfg.reconciler.decoder_units = static_cast<std::size_t>(std::atoll(next()));
     else if (arg == "--seed") cfg.trace.seed = static_cast<std::uint64_t>(std::atoll(next()));
     else if (arg == "--no-prediction") cfg.use_prediction = false;
-    else if (arg == "--drop") { fault.drop_prob = std::atof(next()); run_link = true; }
-    else if (arg == "--reorder") { fault.reorder_prob = std::atof(next()); run_link = true; }
-    else if (arg == "--dup") { fault.dup_prob = std::atof(next()); run_link = true; }
-    else if (arg == "--corrupt") { fault.corrupt_prob = std::atof(next()); run_link = true; }
+    // The channel model requires drop < 1 (certain loss can never make
+    // progress); the other fault probabilities live in [0, 1].
+    else if (arg == "--drop") { fault.drop_prob = clamp_prob("--drop", std::atof(next()), 0.0, 0.99); run_link = true; }
+    else if (arg == "--reorder") { fault.reorder_prob = clamp_prob("--reorder", std::atof(next()), 0.0, 1.0); run_link = true; }
+    else if (arg == "--dup") { fault.dup_prob = clamp_prob("--dup", std::atof(next()), 0.0, 1.0); run_link = true; }
+    else if (arg == "--corrupt") { fault.corrupt_prob = clamp_prob("--corrupt", std::atof(next()), 0.0, 1.0); run_link = true; }
     else if (arg == "--link-seed") { fault.seed = static_cast<std::uint64_t>(std::atoll(next())); run_link = true; }
+    else if (arg == "--metrics") dump_metrics = true;
+    else if (arg == "--metrics-json") metrics_json_path = next();
     else usage(argv[0]);
   }
   if (speed <= 0.0 || train_rounds == 0 || test_rounds == 0) usage(argv[0]);
@@ -198,6 +226,26 @@ int main(int argc, char** argv) {
                   std::to_string(failures[r])});
     }
     lt.print("reliable key agreement over the lossy link");
+  }
+
+  if (dump_metrics) {
+    if (metrics::enabled()) {
+      std::printf("\nmetrics registry (VKEY_METRICS=off disables "
+                  "collection):\n%s",
+                  metrics::Registry::global().to_csv().c_str());
+    } else {
+      std::printf("\nmetrics collection is disabled (VKEY_METRICS=off)\n");
+    }
+  }
+  if (!metrics_json_path.empty()) {
+    std::ofstream out(metrics_json_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "vkey_sim: cannot write %s\n",
+                   metrics_json_path.c_str());
+      return 1;
+    }
+    out << metrics::Registry::global().snapshot().dump(2);
+    std::fprintf(stderr, "wrote %s\n", metrics_json_path.c_str());
   }
   return 0;
 }

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "common/error.h"
+#include "common/metrics.h"
 
 namespace vkey::channel {
 
@@ -35,6 +37,15 @@ LoRaPhy::LoRaPhy(const LoRaParams& p) : params_(p) {
   total_symbols_ = payload_symbols_ + p.preamble_symbols + 4.25;
   airtime_ = total_symbols_ * symbol_time_;
   rssi_samples_ = static_cast<int>(std::floor(total_symbols_));
+}
+
+void LoRaPhy::account_airtime(const char* label, std::size_t packets) const {
+  if (!metrics::enabled() || packets == 0) return;
+  auto& reg = metrics::Registry::global();
+  const double ms = airtime_ * 1000.0 * static_cast<double>(packets);
+  reg.counter("phy.packets").add(packets);
+  reg.gauge("phy.airtime_ms").add(ms);
+  reg.gauge(std::string("phy.airtime_ms.") + label).add(ms);
 }
 
 double LoRaPhy::wavelength() const {

@@ -62,6 +62,13 @@ class LoRaPhy {
   /// CR denominators 5..8. Used by the Fig. 2(a) data-rate sweep.
   static LoRaParams params_for_bitrate(double target_bps);
 
+  /// Observability hook: account `packets` transmissions of this
+  /// configuration in the global metrics registry — total packet count and
+  /// accumulated on-air milliseconds, plus a per-`label` breakdown
+  /// ("phy.airtime_ms.<label>"). Labels distinguish probe traffic from
+  /// protocol wire frames.
+  void account_airtime(const char* label, std::size_t packets = 1) const;
+
  private:
   LoRaParams params_;
   double symbol_time_ = 0.0;

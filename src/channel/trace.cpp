@@ -239,6 +239,8 @@ struct TraceGenerator::Impl {
                   &round.eve_rx_bob_tx}});
 
     now = t2 + airtime + cfg.probe_interval_s;
+    // One probe exchange = two packets on the air (probe + response).
+    phy.account_airtime("probe", 2);
     return round;
   }
 };

@@ -1,0 +1,75 @@
+#include "common/bench_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/metrics.h"
+
+namespace vkey {
+
+BenchReport::BenchReport(std::string name, int argc, char** argv)
+    : name_(std::move(name)) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick_ = true;
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --json needs a path\n", argv[0]);
+        std::exit(2);
+      }
+      path_ = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--quick] [--json <path>]\n", argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s' "
+                   "(usage: %s [--quick] [--json <path>])\n",
+                   argv[0], arg.c_str(), argv[0]);
+      std::exit(2);
+    }
+  }
+}
+
+void BenchReport::add_table(const std::string& id, const std::string& caption,
+                            const Table& t) {
+  json::Value entry = json::Value::object();
+  entry.set("id", json::Value(id));
+  entry.set("caption", json::Value(caption));
+  const json::Value tj = t.to_json();
+  entry.set("headers", tj.at("headers"));
+  entry.set("rows", tj.at("rows"));
+  tables_.push_back(std::move(entry));
+}
+
+void BenchReport::add_scalar(const std::string& key, double value) {
+  scalars_.set(key, json::Value(value));
+}
+
+void BenchReport::add_note(const std::string& key, const std::string& text) {
+  notes_.set(key, json::Value(text));
+}
+
+bool BenchReport::write() {
+  if (path_.empty()) return false;
+  json::Value doc = json::Value::object();
+  doc.set("bench", json::Value(name_));
+  doc.set("schema", json::Value(1));
+  doc.set("quick", json::Value(quick_));
+  doc.set("tables", tables_);
+  doc.set("scalars", scalars_);
+  doc.set("notes", notes_);
+  doc.set("metrics", metrics::Registry::global().snapshot());
+
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_io: cannot write %s\n", path_.c_str());
+    return false;
+  }
+  out << doc.dump(2);
+  std::fprintf(stderr, "wrote %s\n", path_.c_str());
+  return true;
+}
+
+}  // namespace vkey

@@ -1,0 +1,64 @@
+// Machine-readable bench output.
+//
+// Every bench binary owns a BenchReport: it parses the two flags common to
+// the whole suite (`--json <path>` — write a BENCH_<name>.json snapshot,
+// `--quick` — run a reduced-size variant for CI smoke runs), collects the
+// tables the bench prints plus any extra scalars/notes, and writes one JSON
+// document per run:
+//
+//   {
+//     "bench": "<name>", "schema": 1, "quick": false,
+//     "tables": [{"id", "caption", "headers", "rows"}, ...],
+//     "scalars": {...}, "notes": {...},
+//     "metrics": { ...Registry snapshot... }
+//   }
+//
+// Table cells are the exact formatted strings the console shows, so
+// bench_runner can regenerate EXPERIMENTS.md tables byte-identically from
+// the snapshot. The metrics section carries the full registry (timings,
+// FLOPs, airtime) for observability; it is the only non-deterministic part
+// of the file.
+#pragma once
+
+#include <string>
+
+#include "common/json.h"
+#include "common/table.h"
+
+namespace vkey {
+
+class BenchReport {
+ public:
+  /// `name` is the suite name without the BENCH_ prefix (e.g.
+  /// "fig2_preliminary"). Exits with usage on unknown arguments.
+  BenchReport(std::string name, int argc, char** argv);
+
+  bool quick() const { return quick_; }
+  /// Pick a size by mode: `full` normally, `quick_value` under --quick.
+  std::size_t scaled(std::size_t full, std::size_t quick_value) const {
+    return quick_ ? quick_value : full;
+  }
+
+  /// Register a table (in display order). `id` keys the table in the JSON
+  /// and in EXPERIMENTS.md's AUTOGEN markers; `caption` is stored verbatim.
+  void add_table(const std::string& id, const std::string& caption,
+                 const Table& t);
+  void add_scalar(const std::string& key, double value);
+  void add_note(const std::string& key, const std::string& text);
+
+  /// Write the snapshot if --json was given (appends the current metrics
+  /// registry). Returns true when a file was written.
+  bool write();
+
+  const std::string& json_path() const { return path_; }
+
+ private:
+  std::string name_;
+  std::string path_;
+  bool quick_ = false;
+  json::Value tables_ = json::Value::array();
+  json::Value scalars_ = json::Value::object();
+  json::Value notes_ = json::Value::object();
+};
+
+}  // namespace vkey

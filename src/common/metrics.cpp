@@ -1,0 +1,246 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace vkey::metrics {
+
+namespace {
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("VKEY_METRICS");
+    if (env != nullptr &&
+        (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+         std::strcmp(env, "false") == 0)) {
+      return false;
+    }
+    return true;
+  }();
+  return flag;
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+void Gauge::add(double delta) {
+  if (!enabled()) return;
+  double cur = v_.load(std::memory_order_relaxed);
+  while (!v_.compare_exchange_weak(cur, cur + delta,
+                                   std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  VKEY_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket bound");
+  VKEY_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                   std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                       bounds_.end(),
+               "histogram bounds must be strictly increasing");
+}
+
+void Histogram::observe(double v) {
+  if (!enabled()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::quantile(double q) const {
+  VKEY_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  const auto counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (static_cast<double>(cum + counts[i]) < target) {
+      cum += counts[i];
+      continue;
+    }
+    // Interpolate within bucket i. The overflow bucket has no upper bound;
+    // report its lower bound.
+    if (i == bounds_.size()) return bounds_.back();
+    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    const double hi = bounds_[i];
+    if (counts[i] == 0) return hi;
+    const double frac =
+        (target - static_cast<double>(cum)) / static_cast<double>(counts[i]);
+    return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+  }
+  return bounds_.back();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& default_time_buckets_ms() {
+  static const std::vector<double> buckets = [] {
+    std::vector<double> b;
+    // 1 µs .. 100 s in 1 / 2.5 / 5 steps per decade.
+    for (double decade = 1e-3; decade < 1e5 * 1.5; decade *= 10.0) {
+      b.push_back(decade);
+      b.push_back(decade * 2.5);
+      b.push_back(decade * 5.0);
+    }
+    return b;
+  }();
+  return buckets;
+}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry();  // never destroyed: instruments may
+                                        // be touched by static destructors
+  return *r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, c] : counters_) {
+    if (n == name) return *c;
+  }
+  counters_.emplace_back(name, std::make_unique<Counter>());
+  return *counters_.back().second;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, g] : gauges_) {
+    if (n == name) return *g;
+  }
+  gauges_.emplace_back(name, std::make_unique<Gauge>());
+  return *gauges_.back().second;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, h] : histograms_) {
+    if (n == name) return *h;
+  }
+  histograms_.emplace_back(name, std::make_unique<Histogram>(bounds));
+  return *histograms_.back().second;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, c] : counters_) c->reset();
+  for (auto& [n, g] : gauges_) g->reset();
+  for (auto& [n, h] : histograms_) h->reset();
+}
+
+json::Value Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Sort names: the registration order depends on code paths taken, the
+  // export should not.
+  auto sorted = [](const auto& entries) {
+    std::vector<std::pair<std::string, const void*>> out;
+    out.reserve(entries.size());
+    for (const auto& [n, v] : entries) out.emplace_back(n, v.get());
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  json::Value root = json::Value::object();
+
+  json::Value counters = json::Value::object();
+  for (const auto& [name, p] : sorted(counters_)) {
+    counters.set(name,
+                 json::Value(static_cast<const Counter*>(p)->value()));
+  }
+  root.set("counters", std::move(counters));
+
+  json::Value gauges = json::Value::object();
+  for (const auto& [name, p] : sorted(gauges_)) {
+    gauges.set(name, json::Value(static_cast<const Gauge*>(p)->value()));
+  }
+  root.set("gauges", std::move(gauges));
+
+  json::Value hists = json::Value::object();
+  for (const auto& [name, p] : sorted(histograms_)) {
+    const auto* h = static_cast<const Histogram*>(p);
+    json::Value e = json::Value::object();
+    e.set("count", json::Value(h->count()));
+    e.set("sum", json::Value(h->sum()));
+    e.set("mean", json::Value(h->mean()));
+    e.set("p50", json::Value(h->quantile(0.5)));
+    e.set("p99", json::Value(h->quantile(0.99)));
+    json::Value bounds = json::Value::array();
+    for (const double b : h->bounds()) bounds.push_back(json::Value(b));
+    e.set("bounds", std::move(bounds));
+    json::Value buckets = json::Value::array();
+    for (const auto c : h->bucket_counts()) buckets.push_back(json::Value(c));
+    e.set("buckets", std::move(buckets));
+    hists.set(name, std::move(e));
+  }
+  root.set("histograms", std::move(hists));
+  return root;
+}
+
+std::string Registry::to_json(int indent) const {
+  return snapshot().dump(indent);
+}
+
+std::string Registry::to_csv() const {
+  const json::Value snap = snapshot();
+  std::string out = "kind,name,field,value\n";
+  for (const auto& [name, v] : snap.at("counters").as_object()) {
+    out += "counter," + name + ",value," + json::format_number(v.as_number()) +
+           "\n";
+  }
+  for (const auto& [name, v] : snap.at("gauges").as_object()) {
+    out += "gauge," + name + ",value," + json::format_number(v.as_number()) +
+           "\n";
+  }
+  for (const auto& [name, h] : snap.at("histograms").as_object()) {
+    for (const char* field : {"count", "sum", "mean", "p50", "p99"}) {
+      out += "histogram," + name + "," + field + "," +
+             json::format_number(h.at(field).as_number()) + "\n";
+    }
+    const auto& bounds = h.at("bounds").as_array();
+    const auto& buckets = h.at("buckets").as_array();
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      const std::string label =
+          i < bounds.size() ? "le_" + json::format_number(bounds[i].as_number())
+                            : std::string("le_inf");
+      out += "histogram," + name + "," + label + "," +
+             json::format_number(buckets[i].as_number()) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace vkey::metrics

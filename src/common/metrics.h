@@ -1,0 +1,130 @@
+// Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+//
+// Every layer of the stack reports into one global registry so a bench, the
+// vkey_sim driver or a test can ask "where did the time / the bits go" after
+// any run:
+//   * Counter   — monotonically increasing u64 (bits produced, frames sent,
+//                 retransmissions, FLOPs). Lock-free atomic adds.
+//   * Gauge     — last-written double plus a lock-free accumulate mode
+//                 (airtime milliseconds, link budget leftovers).
+//   * Histogram — fixed upper-bucket-bound distribution with count/sum
+//                 (stage latencies, backoff delays). Bounds are set at
+//                 registration; observations are atomic per bucket.
+//
+// Instruments live for the process lifetime: the registry hands out stable
+// references, so hot paths register once (function-local static) and then
+// pay only an atomic add per event. reset() zeroes values but never
+// invalidates references.
+//
+// The whole subsystem is gated by one flag: the VKEY_METRICS environment
+// variable ("off"/"0"/"false" disables collection at startup) or
+// set_enabled(). Disabled instruments drop writes; readers still work.
+// This is what the `VKEY_METRICS=off` overhead comparison in the acceptance
+// bench toggles.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace vkey::metrics {
+
+/// Global collection switch (initialized from VKEY_METRICS; default on).
+bool enabled();
+void set_enabled(bool on);
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (enabled()) v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) {
+    if (enabled()) v_.store(v, std::memory_order_relaxed);
+  }
+  /// Lock-free accumulate (compare-exchange loop).
+  void add(double delta);
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+class Histogram {
+ public:
+  /// `bounds` are strictly increasing upper bucket bounds; an implicit
+  /// +inf bucket is appended. An empty bounds list is rejected.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  double mean() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Cumulative-free per-bucket counts, bounds().size() + 1 entries (the
+  /// last is the overflow bucket).
+  std::vector<std::uint64_t> bucket_counts() const;
+  /// Linear-interpolated quantile estimate from the buckets, q in [0, 1].
+  double quantile(double q) const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default latency buckets for millisecond-scale timers: 1 µs .. 100 s in
+/// 1-2.5-5 steps.
+const std::vector<double>& default_time_buckets_ms();
+
+class Registry {
+ public:
+  /// The process-wide registry used by all built-in instrumentation.
+  static Registry& global();
+
+  /// Find-or-create. References stay valid for the registry's lifetime.
+  /// Re-registering a histogram under the same name returns the existing
+  /// instrument (the original bounds win).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& bounds =
+                           default_time_buckets_ms());
+
+  /// Zero every instrument's value; registrations (and references) survive.
+  void reset();
+
+  /// Snapshot as {"counters": {...}, "gauges": {...}, "histograms": {...}},
+  /// keys sorted, histograms carrying count/sum/mean/p50/p99 and the raw
+  /// buckets. Instruments with zero events are included (their registration
+  /// is information too).
+  json::Value snapshot() const;
+  std::string to_json(int indent = 2) const;
+  /// Flat CSV: kind,name,field,value — one line per scalar, one per bucket.
+  std::string to_csv() const;
+
+ private:
+  mutable std::mutex mu_;  // guards the maps; instruments are lock-free
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+};
+
+}  // namespace vkey::metrics

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
+
 namespace vkey {
 
 class Table {
@@ -29,6 +31,17 @@ class Table {
   /// Render as CSV (comma-separated, no quoting of commas — callers avoid
   /// commas in cells).
   std::string to_csv() const;
+
+  /// {"headers": [...], "rows": [[...], ...]} — cells stay the formatted
+  /// strings the console shows, so a table regenerated from the JSON is
+  /// byte-identical to the printed one.
+  json::Value to_json() const;
+
+  /// GitHub-flavored markdown rendering (pipe table), used by bench_runner
+  /// to splice measured tables into EXPERIMENTS.md.
+  std::string to_markdown() const;
+  /// Same, from a to_json()-shaped value.
+  static std::string markdown_from_json(const json::Value& table);
 
   /// Print to stdout with an optional caption line above.
   void print(const std::string& caption = "") const;

@@ -1,0 +1,109 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace vkey::trace {
+
+double wall_now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+TraceLog& TraceLog::global() {
+  static TraceLog* log = new TraceLog();
+  return *log;
+}
+
+TraceLog::TraceLog() {
+  const char* env = std::getenv("VKEY_TRACE");
+  enabled_ = env != nullptr && (std::strcmp(env, "on") == 0 ||
+                                std::strcmp(env, "1") == 0 ||
+                                std::strcmp(env, "true") == 0);
+}
+
+void TraceLog::set_capacity(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = n;
+  if (spans_.size() > capacity_) {
+    dropped_ += spans_.size() - capacity_;
+    spans_.erase(spans_.begin(),
+                 spans_.begin() +
+                     static_cast<std::ptrdiff_t>(spans_.size() - capacity_));
+  }
+}
+
+void TraceLog::record(const std::string& name, double start_ms,
+                      double duration_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= capacity_) {
+    spans_.erase(spans_.begin());
+    ++dropped_;
+  }
+  spans_.push_back(Span{name, start_ms, duration_ms});
+}
+
+std::vector<Span> TraceLog::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::size_t TraceLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceLog::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  dropped_ = 0;
+}
+
+json::Value TraceLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Value root = json::Value::object();
+  json::Value arr = json::Value::array();
+  for (const Span& s : spans_) {
+    json::Value e = json::Value::object();
+    e.set("name", json::Value(s.name));
+    e.set("start_ms", json::Value(s.start_ms));
+    e.set("dur_ms", json::Value(s.duration_ms));
+    arr.push_back(std::move(e));
+  }
+  root.set("spans", std::move(arr));
+  root.set("dropped", json::Value(dropped_));
+  return root;
+}
+
+ScopedTimer::ScopedTimer(metrics::Histogram& hist, std::string name)
+    : ScopedTimer(hist, NowFn{}, std::move(name)) {}
+
+ScopedTimer::ScopedTimer(metrics::Histogram& hist, NowFn now, std::string name)
+    : hist_(&hist), now_(std::move(now)), name_(std::move(name)) {
+  if (!metrics::enabled()) return;
+  start_ms_ = now_ ? now_() : wall_now_ms();
+  running_ = true;
+}
+
+ScopedTimer::ScopedTimer(const std::string& name)
+    : ScopedTimer(metrics::Registry::global().histogram(name), NowFn{},
+                  name) {}
+
+double ScopedTimer::stop() {
+  if (!running_) return 0.0;
+  running_ = false;
+  const double elapsed = (now_ ? now_() : wall_now_ms()) - start_ms_;
+  hist_->observe(elapsed);
+  TraceLog& log = TraceLog::global();
+  if (log.enabled() && !name_.empty()) {
+    log.record(name_, start_ms_, elapsed);
+  }
+  return elapsed;
+}
+
+ScopedTimer::~ScopedTimer() { stop(); }
+
+}  // namespace vkey::trace

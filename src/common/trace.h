@@ -1,0 +1,96 @@
+// Scoped timers and a lightweight span log on top of the metrics registry.
+//
+// A ScopedTimer measures the lifetime of a scope and, on destruction,
+// observes the elapsed milliseconds into a Histogram and (optionally)
+// appends a span to the global TraceLog. The time source is pluggable:
+//   * default — monotonic wall clock (benches, vkey_sim, the pipeline);
+//   * any NowFn returning milliseconds — protocol code passes a lambda over
+//     the PR-1 SimClock, so spans inside a simulated session are measured
+//     in *virtual* time and stay bit-reproducible.
+//
+// The TraceLog is a bounded in-memory span buffer (name, start, duration)
+// for post-run inspection and JSON export; it is off by default (enable via
+// VKEY_TRACE=on or TraceLog::set_enabled) because span capture allocates.
+// Timers always honor the metrics enabled() switch: with VKEY_METRICS=off a
+// ScopedTimer never reads the clock.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/metrics.h"
+
+namespace vkey::trace {
+
+/// Millisecond time source. Must be monotone within one timer's lifetime.
+using NowFn = std::function<double()>;
+
+/// Monotonic wall clock in milliseconds (steady_clock).
+double wall_now_ms();
+
+struct Span {
+  std::string name;
+  double start_ms = 0.0;
+  double duration_ms = 0.0;
+};
+
+/// Bounded global span buffer. Oldest spans are dropped once `capacity`
+/// is reached (the drop count is kept so exports are honest about it).
+class TraceLog {
+ public:
+  static TraceLog& global();
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+  void set_capacity(std::size_t n);
+
+  void record(const std::string& name, double start_ms, double duration_ms);
+
+  std::vector<Span> spans() const;
+  std::size_t dropped() const;
+  void clear();
+
+  /// {"spans": [{"name", "start_ms", "dur_ms"}, ...], "dropped": n}
+  json::Value snapshot() const;
+
+ private:
+  TraceLog();
+
+  mutable std::mutex mu_;
+  bool enabled_ = false;
+  std::size_t capacity_ = 1 << 16;
+  std::size_t dropped_ = 0;
+  std::vector<Span> spans_;
+};
+
+/// RAII scope timer. Records into `hist` (and the TraceLog, when enabled)
+/// when the scope ends; stop() ends it early and returns the elapsed ms.
+class ScopedTimer {
+ public:
+  /// Time into an explicit histogram with the wall clock.
+  explicit ScopedTimer(metrics::Histogram& hist, std::string name = {});
+  /// Time with a custom clock (e.g. a SimClock lambda, in virtual ms).
+  ScopedTimer(metrics::Histogram& hist, NowFn now, std::string name = {});
+  /// Convenience: registry histogram `name` with default time buckets.
+  explicit ScopedTimer(const std::string& name);
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Stop now (idempotent); returns elapsed ms (0 when metrics disabled).
+  double stop();
+
+  ~ScopedTimer();
+
+ private:
+  metrics::Histogram* hist_;
+  NowFn now_;  // empty -> wall clock
+  std::string name_;
+  double start_ms_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace vkey::trace

@@ -3,9 +3,26 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/metrics.h"
 #include "common/stats.h"
+#include "common/trace.h"
 
 namespace vkey::core {
+
+namespace {
+
+// Stage histograms are fetched once per process; the per-run cost is a
+// relaxed atomic observe, keeping the hot path within the metrics budget.
+metrics::Histogram& stage_hist(const char* stage) {
+  return metrics::Registry::global().histogram(
+      std::string("pipeline.stage.") + stage + "_ms");
+}
+
+metrics::Counter& bit_counter(const char* name) {
+  return metrics::Registry::global().counter(std::string("pipeline.") + name);
+}
+
+}  // namespace
 
 KeyGenPipeline::KeyGenPipeline(const PipelineConfig& config) : cfg_(config) {
   VKEY_REQUIRE(cfg_.reconciler.key_bits % cfg_.predictor.key_bits == 0,
@@ -27,11 +44,24 @@ AutoencoderReconciler& KeyGenPipeline::reconciler() {
 PipelineMetrics KeyGenPipeline::run(std::size_t train_rounds,
                                     std::size_t test_rounds) {
   VKEY_REQUIRE(test_rounds >= 1, "need test rounds");
+  static metrics::Histogram& probe_ms = stage_hist("probe");
+  static metrics::Histogram& extract_ms = stage_hist("extract");
+  static metrics::Histogram& train_pred_ms = stage_hist("train_predictor");
+  static metrics::Histogram& train_rec_ms = stage_hist("train_reconciler");
+  static metrics::Histogram& predict_ms = stage_hist("predict");
+  static metrics::Histogram& quantize_ms = stage_hist("quantize");
+  static metrics::Histogram& reconcile_ms = stage_hist("reconcile");
+  bit_counter("runs").add(1);
+
   channel::TraceGenerator gen(cfg_.trace);
 
   // --- data collection ---
+  trace::ScopedTimer probe_timer(probe_ms, "pipeline.probe");
   const auto train_trace = gen.generate(train_rounds);
   const auto test_trace = gen.generate(test_rounds);
+  probe_timer.stop();
+
+  trace::ScopedTimer extract_timer(extract_ms, "pipeline.extract");
   const auto train_streams = extract_streams(
       train_trace, cfg_.dataset.extractor, cfg_.dataset.reciprocal_windows);
   const auto test_streams = extract_streams(
@@ -42,16 +72,21 @@ PipelineMetrics KeyGenPipeline::run(std::size_t train_rounds,
   test_ds.stride = 0;  // non-overlapping evaluation windows
   const auto train_samples = make_samples(train_streams, train_ds);
   const auto test_samples = make_samples(test_streams, test_ds);
+  extract_timer.stop();
   VKEY_REQUIRE(!test_samples.empty(), "test segment produced no samples");
 
   // --- training ---
   if (cfg_.use_prediction) {
     VKEY_REQUIRE(!train_samples.empty(), "train segment produced no samples");
+    trace::ScopedTimer t(train_pred_ms, "pipeline.train_predictor");
     predictor_.emplace(cfg_.predictor);
     predictor_->train(train_samples, cfg_.predictor_epochs);
   }
-  reconciler_.emplace(cfg_.reconciler);
-  reconciler_->train(cfg_.reconciler_samples, cfg_.reconciler_epochs);
+  {
+    trace::ScopedTimer t(train_rec_ms, "pipeline.train_reconciler");
+    reconciler_.emplace(cfg_.reconciler);
+    reconciler_->train(cfg_.reconciler_samples, cfg_.reconciler_epochs);
+  }
 
   // --- evaluation ---
   MultiBitQuantizer fallback_quant([&] {
@@ -69,10 +104,12 @@ PipelineMetrics KeyGenPipeline::run(std::size_t train_rounds,
   for (const auto& s : test_samples) {
     BitVec alice_frag, eve_frag;
     if (cfg_.use_prediction) {
+      trace::ScopedTimer t(predict_ms);
       alice_frag = predictor_->infer(s.alice_seq).bits;
       eve_frag = predictor_->infer(s.eve_seq).bits;
     } else {
       // Ablation: Alice quantizes her own window directly.
+      trace::ScopedTimer t(quantize_ms);
       std::vector<double> a(s.alice_seq.begin(), s.alice_seq.end());
       std::vector<double> e(s.eve_seq.begin(), s.eve_seq.end());
       alice_frag = fallback_quant.quantize(a).bits;
@@ -89,6 +126,7 @@ PipelineMetrics KeyGenPipeline::run(std::size_t train_rounds,
     alice_acc.append(alice_frag);
     eve_acc.append(eve_frag);
     bob_acc.append(s.bob_bits);
+    bit_counter("bits.quantized").add(alice_frag.size());
 
     if (alice_acc.size() >= cfg_.reconciler.key_bits) {
       KeyBlockResult blk;
@@ -104,16 +142,25 @@ PipelineMetrics KeyGenPipeline::run(std::size_t train_rounds,
 
       blk.alice_raw = ka;
       blk.kar_pre = ka.agreement(blk.bob_key);
-      const auto y_bob = reconciler_->encode_bob(blk.bob_key);
-      blk.alice_corrected = reconciler_->reconcile(ka, y_bob);
-      blk.kar_post = blk.alice_corrected.agreement(blk.bob_key);
-      blk.success = blk.alice_corrected == blk.bob_key;
-      // Eve eavesdrops y_Bob and runs the public decoder with her key:
-      // one-shot (the paper's Fig. 15 attack) and iterative (stronger).
-      blk.eve_kar_post =
-          reconciler_->reconcile_one_shot(ke, y_bob).agreement(blk.bob_key);
-      blk.eve_kar_iterative =
-          reconciler_->reconcile(ke, y_bob).agreement(blk.bob_key);
+      {
+        trace::ScopedTimer t(reconcile_ms);
+        const auto y_bob = reconciler_->encode_bob(blk.bob_key);
+        blk.alice_corrected = reconciler_->reconcile(ka, y_bob);
+        blk.kar_post = blk.alice_corrected.agreement(blk.bob_key);
+        blk.success = blk.alice_corrected == blk.bob_key;
+        // Eve eavesdrops y_Bob and runs the public decoder with her key:
+        // one-shot (the paper's Fig. 15 attack) and iterative (stronger).
+        blk.eve_kar_post =
+            reconciler_->reconcile_one_shot(ke, y_bob).agreement(blk.bob_key);
+        blk.eve_kar_iterative =
+            reconciler_->reconcile(ke, y_bob).agreement(blk.bob_key);
+      }
+      bit_counter("blocks.total").add(1);
+      bit_counter("bits.reconciled").add(cfg_.reconciler.key_bits);
+      if (blk.success) {
+        bit_counter("blocks.success").add(1);
+        bit_counter("bits.agreed").add(cfg_.reconciler.key_bits);
+      }
 
       kar_pre_list.push_back(blk.kar_pre);
       kar_post_list.push_back(blk.kar_post);
@@ -153,12 +200,15 @@ PipelineMetrics KeyGenPipeline::run(std::size_t train_rounds,
 
 BitVec KeyGenPipeline::amplified_key_stream() const {
   VKEY_REQUIRE(!blocks_.empty(), "run() produced no blocks");
+  static metrics::Histogram& amplify_ms = stage_hist("amplify");
+  trace::ScopedTimer t(amplify_ms, "pipeline.amplify");
   BitVec stream;
   std::uint64_t salt = 0;
   for (const auto& blk : blocks_) {
     if (!blk.success) continue;
     stream.append(amplifier_.amplify(blk.alice_corrected, salt++));
   }
+  bit_counter("bits.amplified").add(stream.size());
   return stream;
 }
 

@@ -3,9 +3,27 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/metrics.h"
 #include "nn/activations.h"
 
 namespace vkey::nn {
+
+namespace {
+
+// Hot-path FLOP accounting: register once, then one relaxed atomic add per
+// layer pass (multiply+add counted as 2 FLOPs).
+metrics::Counter& dense_flops() {
+  static metrics::Counter& c =
+      metrics::Registry::global().counter("nn.dense.flops");
+  return c;
+}
+metrics::Counter& dense_calls() {
+  static metrics::Counter& c =
+      metrics::Registry::global().counter("nn.dense.forward_calls");
+  return c;
+}
+
+}  // namespace
 
 Dense::Dense(std::size_t in, std::size_t out, vkey::Rng& rng, Activation act)
     : in_(in), out_(out), act_(act), w_(in * out), b_(out) {
@@ -16,6 +34,8 @@ Dense::Dense(std::size_t in, std::size_t out, vkey::Rng& rng, Activation act)
 
 Vec Dense::affine(const Vec& x) const {
   VKEY_REQUIRE(x.size() == in_, "Dense input size mismatch");
+  dense_calls().add(1);
+  dense_flops().add(2 * static_cast<std::uint64_t>(in_) * out_);
   Vec z(out_);
   for (std::size_t o = 0; o < out_; ++o) {
     double s = b_.value[o];

@@ -3,9 +3,38 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "nn/activations.h"
 
 namespace vkey::nn {
+
+namespace {
+
+metrics::Counter& lstm_flops() {
+  static metrics::Counter& c =
+      metrics::Registry::global().counter("nn.lstm.flops");
+  return c;
+}
+metrics::Counter& lstm_steps() {
+  static metrics::Counter& c =
+      metrics::Registry::global().counter("nn.lstm.cell_steps");
+  return c;
+}
+metrics::Histogram& lstm_infer_ms() {
+  static metrics::Histogram& h =
+      metrics::Registry::global().histogram("nn.lstm.infer_ms");
+  return h;
+}
+
+// One cell step: the 4H x (input + hidden) affine dominates; the gate
+// nonlinearities and elementwise updates add ~10H.
+std::uint64_t step_flops(std::size_t input, std::size_t hidden) {
+  return 2 * 4 * static_cast<std::uint64_t>(hidden) * (input + hidden) +
+         10 * static_cast<std::uint64_t>(hidden);
+}
+
+}  // namespace
 
 Lstm::Lstm(std::size_t input, std::size_t hidden, vkey::Rng& rng,
            bool reverse)
@@ -65,6 +94,8 @@ void Lstm::step(const Vec& x, const Vec& h_prev, const Vec& c_prev,
 Seq Lstm::forward(const Seq& x) {
   const std::size_t t_len = x.size();
   VKEY_REQUIRE(t_len > 0, "Lstm forward on empty sequence");
+  lstm_steps().add(t_len);
+  lstm_flops().add(t_len * step_flops(input_, hidden_));
   cache_.assign(t_len, StepCache{});
   Seq out(t_len);
   Vec h(hidden_, 0.0), c(hidden_, 0.0);
@@ -83,6 +114,9 @@ Seq Lstm::forward(const Seq& x) {
 Seq Lstm::infer(const Seq& x) const {
   const std::size_t t_len = x.size();
   VKEY_REQUIRE(t_len > 0, "Lstm infer on empty sequence");
+  lstm_steps().add(t_len);
+  lstm_flops().add(t_len * step_flops(input_, hidden_));
+  trace::ScopedTimer timer(lstm_infer_ms());
   Seq out(t_len);
   Vec h(hidden_, 0.0), c(hidden_, 0.0);
   for (std::size_t step_idx = 0; step_idx < t_len; ++step_idx) {

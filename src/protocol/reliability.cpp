@@ -1,11 +1,18 @@
 #include "protocol/reliability.h"
 
 #include "common/error.h"
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "common/trace.h"
 
 namespace vkey::protocol {
 
 namespace {
+
+metrics::Counter& rel_counter(const char* name) {
+  return metrics::Registry::global().counter(std::string("reliability.") +
+                                             name);
+}
 
 // Runaway guard per attempt: far above anything a sane exchange needs
 // (~6 frames * (1 + max_retries) events each, plus duplicates).
@@ -63,9 +70,16 @@ AgreementReport run_reliable_key_agreement(
   VKEY_REQUIRE(config.max_session_attempts >= 1, "need at least one attempt");
   AgreementReport report;
 
+  // Virtual time-to-establish across the whole agreement (all attempts):
+  // each attempt's SimClock starts at 0, so accumulate per-attempt spans.
+  static metrics::Histogram& establish_hist =
+      metrics::Registry::global().histogram(
+          "reliability.time_to_establish_ms");
+
   for (std::size_t attempt = 0; attempt < config.max_session_attempts;
        ++attempt) {
     ++report.attempts;
+    rel_counter("attempts").add(1);
 
     // Fresh session id, probe material, fault stream and jitter stream per
     // attempt: a loss pattern that killed attempt k must not repeat
@@ -78,6 +92,11 @@ AgreementReport run_reliable_key_agreement(
     BobSession bob(scfg, reconciler, std::move(bob_raw));
 
     SimClock clock;
+    // Virtual-time span: the timer reads the attempt's SimClock, not the
+    // wall clock, so the observed duration is bit-reproducible.
+    trace::ScopedTimer attempt_timer(
+        metrics::Registry::global().histogram("reliability.attempt_ms"),
+        [&clock] { return clock.now_ms(); }, "reliability.attempt");
     FaultConfig faults = config.fault;
     faults.seed = hash_combine64(config.fault.seed, attempt);
     UnreliableChannel link(clock, base, faults, config.radio);
@@ -186,13 +205,20 @@ AgreementReport run_reliable_key_agreement(
     accumulate(report.link, link.stats());
     report.failure = att.failure;
     const bool success = att.established;
-    if (success) report.key = alice.final_key();
+    if (success) {
+      report.key = alice.final_key();
+    } else {
+      rel_counter(("failure." + to_string(att.failure)).c_str()).add(1);
+    }
     report.attempt_log.push_back(std::move(att));
     if (success) {
       report.established = true;
+      rel_counter("established").add(1);
+      establish_hist.observe(report.time_to_establish_ms);
       break;
     }
   }
+  if (!report.established) rel_counter("exhausted").add(1);
   return report;
 }
 

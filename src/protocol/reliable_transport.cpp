@@ -4,8 +4,23 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/metrics.h"
 
 namespace vkey::protocol {
+
+namespace {
+
+metrics::Counter& arq_counter(const char* name) {
+  return metrics::Registry::global().counter(std::string("arq.") + name);
+}
+
+metrics::Histogram& arq_backoff_hist() {
+  static metrics::Histogram& h =
+      metrics::Registry::global().histogram("arq.backoff_ms");
+  return h;
+}
+
+}  // namespace
 
 double arq_backoff_delay_ms(const ArqConfig& cfg, std::size_t attempt,
                             vkey::Rng& rng) {
@@ -37,8 +52,9 @@ void ReliableTransport::set_upcall(UpcallFn upcall, AckGateFn ack_gate) {
 
 void ReliableTransport::arm_timer(std::uint64_t nonce) {
   auto& entry = inflight_.at(nonce);
-  const double timeout =
-      rtt_(entry.msg) + arq_backoff_delay_ms(cfg_, entry.attempt, rng_);
+  const double backoff = arq_backoff_delay_ms(cfg_, entry.attempt, rng_);
+  arq_backoff_hist().observe(backoff);
+  const double timeout = rtt_(entry.msg) + backoff;
   entry.timer = clock_.schedule(timeout, [this, nonce] { on_timeout(nonce); });
 }
 
@@ -47,12 +63,15 @@ void ReliableTransport::on_timeout(std::uint64_t nonce) {
   if (it == inflight_.end()) return;  // acked while the event was queued
   if (it->second.attempt >= cfg_.max_retries) {
     ++stats_.gave_up;
+    arq_counter("gave_up").add(1);
     exhausted_ = true;
     inflight_.erase(it);
     return;
   }
   ++it->second.attempt;
   ++stats_.retransmissions;
+  arq_counter("timeouts").add(1);
+  arq_counter("retransmissions").add(1);
   wire_(it->second.msg);
   arm_timer(nonce);
 }
@@ -66,11 +85,13 @@ void ReliableTransport::send(const Message& msg) {
     // Fast retransmit: the session re-elicited this response because the
     // peer asked again, so don't wait for the timer.
     ++stats_.retransmissions;
+    arq_counter("retransmissions").add(1);
     wire_(it->second.msg);
     return;
   }
   inflight_[msg.nonce] = Pending{msg, 0, 0};
   ++stats_.data_sent;
+  arq_counter("data_sent").add(1);
   wire_(msg);
   arm_timer(msg.nonce);
 }
@@ -86,6 +107,7 @@ void ReliableTransport::on_wire(const Message& msg) {
     completed_.insert(msg.nonce);
     inflight_.erase(it);
     ++stats_.acks_received;
+    arq_counter("acks_received").add(1);
     return;
   }
 
@@ -98,6 +120,7 @@ void ReliableTransport::on_wire(const Message& msg) {
     ack.nonce = msg.nonce;
     wire_(ack);
     ++stats_.acks_sent;
+    arq_counter("acks_sent").add(1);
   }
   if (response.has_value()) send(*response);
 }

@@ -1,6 +1,7 @@
 #include "protocol/session.h"
 
 #include "common/error.h"
+#include "common/metrics.h"
 #include "crypto/aes128.h"
 #include "crypto/hkdf.h"
 #include "crypto/hmac.h"
@@ -367,6 +368,10 @@ AgreementResult run_key_agreement_detailed(PublicChannel& channel,
   result.established = alice.state() == SessionState::kEstablished &&
                        bob.state() == SessionState::kEstablished &&
                        alice.final_key() == bob.final_key();
+  auto& reg = metrics::Registry::global();
+  reg.counter("session.runs").add(1);
+  reg.counter("session.frames_delivered").add(result.delivered);
+  if (result.established) reg.counter("session.established").add(1);
   return result;
 }
 

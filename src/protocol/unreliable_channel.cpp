@@ -1,9 +1,21 @@
 #include "protocol/unreliable_channel.h"
 
 #include "common/error.h"
+#include "common/metrics.h"
 #include "protocol/message.h"
 
 namespace vkey::protocol {
+
+namespace {
+
+metrics::Counter& link_counter(const char* name) {
+  // The handful of link counters are fetched by string; cache each behind a
+  // function-local static at the call sites via this helper being cheap —
+  // the registry scan is a few entries.
+  return metrics::Registry::global().counter(std::string("link.") + name);
+}
+
+}  // namespace
 
 UnreliableChannel::UnreliableChannel(SimClock& clock, PublicChannel& base,
                                      const FaultConfig& faults,
@@ -47,6 +59,14 @@ void UnreliableChannel::deliver(Endpoint to, const Message& msg,
 
 void UnreliableChannel::send(Endpoint from, const Message& msg) {
   ++stats_.sent;
+  link_counter("sent").add(1);
+  if (metrics::enabled()) {
+    // Airtime is spent by the transmitter whether or not the frame
+    // survives the channel.
+    channel::LoRaParams p = radio_;
+    p.payload_bytes = static_cast<int>(serialize(msg).size());
+    channel::LoRaPhy(p).account_airtime("wire");
+  }
   const Endpoint to =
       from == Endpoint::kAlice ? Endpoint::kBob : Endpoint::kAlice;
 
@@ -58,6 +78,7 @@ void UnreliableChannel::send(Endpoint from, const Message& msg) {
 
   if (rng_.bernoulli(faults_.drop_prob)) {
     ++stats_.dropped;
+    link_counter("dropped").add(1);
     return;
   }
 
@@ -69,9 +90,11 @@ void UnreliableChannel::send(Endpoint from, const Message& msg) {
           static_cast<std::uint8_t>(1u << rng_.uniform_int(8));
     }
     ++stats_.corrupted;
+    link_counter("corrupted").add(1);
     auto reparsed = deserialize(bytes);
     if (!reparsed.has_value()) {
       ++stats_.crc_lost;  // the radio CRC would have rejected this frame
+      link_counter("crc_lost").add(1);
       return;
     }
     in_flight = std::move(reparsed);
@@ -80,12 +103,14 @@ void UnreliableChannel::send(Endpoint from, const Message& msg) {
   double delay = nominal_latency_ms(msg);
   if (rng_.bernoulli(faults_.reorder_prob)) {
     ++stats_.reordered;
+    link_counter("reordered").add(1);
     delay += rng_.uniform(0.0, faults_.reorder_window_ms);
   }
   deliver(to, *in_flight, delay);
 
   if (rng_.bernoulli(faults_.dup_prob)) {
     ++stats_.duplicated;
+    link_counter("duplicated").add(1);
     deliver(to, *in_flight, delay + faults_.dup_delay_ms);
   }
 }

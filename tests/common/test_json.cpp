@@ -1,0 +1,123 @@
+// JSON document model: formatting, escaping, parse/dump round-trips, and
+// the table exporter path bench_runner relies on.
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/table.h"
+
+namespace vkey::json {
+namespace {
+
+TEST(FormatNumber, IntegralValuesPrintWithoutDecimalPoint) {
+  EXPECT_EQ(format_number(0.0), "0");
+  EXPECT_EQ(format_number(42.0), "42");
+  EXPECT_EQ(format_number(-7.0), "-7");
+  EXPECT_EQ(format_number(1e15), "1000000000000000");
+}
+
+TEST(FormatNumber, FractionsUseShortestRoundTrip) {
+  EXPECT_EQ(format_number(3.5), "3.5");
+  EXPECT_EQ(format_number(0.1), "0.1");
+  const std::string s = format_number(1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(std::stod(s), 1.0 / 3.0);
+}
+
+TEST(FormatNumber, RejectsNonFiniteValues) {
+  EXPECT_THROW(format_number(std::numeric_limits<double>::infinity()),
+               vkey::Error);
+  EXPECT_THROW(format_number(std::numeric_limits<double>::quiet_NaN()),
+               vkey::Error);
+}
+
+TEST(Escape, EscapesQuotesBackslashesAndControlCharacters) {
+  EXPECT_EQ(escape("plain"), "plain");
+  EXPECT_EQ(escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Dump, CompactAndPrettyFormsAreDeterministic) {
+  Value obj = Value::object();
+  obj.set("b", Value(1));
+  obj.set("a", Value("x"));
+  Value arr = Value::array();
+  arr.push_back(Value(true));
+  arr.push_back(Value(nullptr));
+  obj.set("list", std::move(arr));
+  // Insertion order is preserved — not sorted — so diffs are stable.
+  EXPECT_EQ(obj.dump(0), "{\"b\":1,\"a\":\"x\",\"list\":[true,null]}");
+  EXPECT_EQ(obj.dump(2),
+            "{\n  \"b\": 1,\n  \"a\": \"x\",\n  \"list\": [\n    true,\n"
+            "    null\n  ]\n}\n");
+}
+
+TEST(Dump, SetOverwritesInPlaceWithoutReordering) {
+  Value obj = Value::object();
+  obj.set("first", Value(1));
+  obj.set("second", Value(2));
+  obj.set("first", Value(9));
+  EXPECT_EQ(obj.dump(0), "{\"first\":9,\"second\":2}");
+}
+
+TEST(Parse, RoundTripsEveryJsonType) {
+  const std::string text =
+      "{\"s\":\"he\\\"llo\\n\",\"n\":-2.5,\"i\":12,\"t\":true,\"f\":false,"
+      "\"z\":null,\"a\":[1,[2],{}],\"o\":{\"k\":\"v\"}}";
+  const Value v = Value::parse(text);
+  EXPECT_EQ(v.at("s").as_string(), "he\"llo\n");
+  EXPECT_DOUBLE_EQ(v.at("n").as_number(), -2.5);
+  EXPECT_DOUBLE_EQ(v.at("i").as_number(), 12.0);
+  EXPECT_TRUE(v.at("t").as_bool());
+  EXPECT_FALSE(v.at("f").as_bool());
+  EXPECT_TRUE(v.at("z").is_null());
+  EXPECT_EQ(v.at("a").as_array().size(), 3u);
+  EXPECT_EQ(v.at("o").at("k").as_string(), "v");
+  // dump(parse(x)) == x for already-compact canonical text.
+  EXPECT_EQ(v.dump(0), text);
+  // And the pretty form re-parses to the same document.
+  EXPECT_EQ(Value::parse(v.dump(2)).dump(0), text);
+}
+
+TEST(Parse, AcceptsUnicodeEscapesAndWhitespace) {
+  const Value v = Value::parse("  { \"k\" :\n[ \"\\u0041\\u00e9\" ] }  ");
+  EXPECT_EQ(v.at("k").as_array()[0].as_string(), "A\xc3\xa9");
+}
+
+TEST(Parse, RejectsMalformedDocuments) {
+  EXPECT_THROW(Value::parse(""), vkey::Error);
+  EXPECT_THROW(Value::parse("{\"a\":}"), vkey::Error);
+  EXPECT_THROW(Value::parse("[1,2"), vkey::Error);
+  EXPECT_THROW(Value::parse("\"unterminated"), vkey::Error);
+  EXPECT_THROW(Value::parse("treu"), vkey::Error);
+  EXPECT_THROW(Value::parse("1 2"), vkey::Error);  // trailing content
+  EXPECT_THROW(Value::parse("{\"a\":1} x"), vkey::Error);
+}
+
+TEST(Accessors, ThrowOnTypeMismatchAndMissingKeys) {
+  const Value v = Value::parse("{\"n\":1}");
+  EXPECT_THROW(v.at("n").as_string(), vkey::Error);
+  EXPECT_THROW(v.at("missing"), vkey::Error);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_NE(v.find("n"), nullptr);
+}
+
+// The exporter contract: a table serialized by Table::to_json and re-read
+// from text renders exactly the markdown the live object renders. This is
+// what makes `bench_runner --regen-only` byte-identical on a second run.
+TEST(Exporter, TableSurvivesJsonRoundTripByteIdentically) {
+  Table t({"stage", "KAR", "note"});
+  t.add_row({"probe", "98.87%", "includes | pipe"});
+  t.add_row({"quantize", "0.53", "plain"});
+  const Value j = t.to_json();
+  const Value back = Value::parse(j.dump(2));
+  EXPECT_EQ(Table::markdown_from_json(back), t.to_markdown());
+  EXPECT_EQ(back.dump(0), j.dump(0));
+}
+
+}  // namespace
+}  // namespace vkey::json

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "common/error.h"
+#include "common/metrics.h"
+#include "protocol/session.h"
 
 namespace vkey::core {
 namespace {
@@ -80,6 +82,49 @@ TEST(Pipeline, AccessorsRequireRun) {
   EXPECT_THROW(p.predictor(), vkey::Error);
   EXPECT_THROW(p.reconciler(), vkey::Error);
   EXPECT_THROW(p.amplified_key_stream(), vkey::Error);
+}
+
+TEST(Pipeline, StageTimersAndCountersPopulatedAfterRun) {
+  auto& reg = metrics::Registry::global();
+  reg.reset();
+  KeyGenPipeline p(small_config(/*use_prediction=*/false));
+  const auto m = p.run(120, 120);
+  ASSERT_GT(m.blocks, 0u);
+
+  // Every pipeline stage must have recorded at least one timing sample.
+  for (const char* stage :
+       {"pipeline.stage.probe_ms", "pipeline.stage.extract_ms",
+        "pipeline.stage.train_reconciler_ms", "pipeline.stage.quantize_ms",
+        "pipeline.stage.reconcile_ms"}) {
+    EXPECT_GT(reg.histogram(stage).count(), 0u) << stage;
+  }
+  EXPECT_EQ(reg.counter("pipeline.runs").value(), 1u);
+  EXPECT_EQ(reg.counter("pipeline.blocks.total").value(), m.blocks);
+  EXPECT_GT(reg.counter("pipeline.bits.quantized").value(), 0u);
+
+  // The amplify stage runs lazily, on the first key-stream request.
+  std::size_t successes = 0;
+  for (const auto& blk : p.blocks()) successes += blk.success;
+  if (successes > 0) {
+    (void)p.amplified_key_stream();
+    EXPECT_GT(reg.histogram("pipeline.stage.amplify_ms").count(), 0u);
+    EXPECT_GT(reg.counter("pipeline.bits.amplified").value(), 0u);
+  }
+
+  // Driving a session end to end bumps the session counters.
+  const std::uint64_t runs_before = reg.counter("session.runs").value();
+  const auto& blk = p.blocks().front();
+  protocol::SessionConfig cfg;
+  protocol::AliceSession alice(cfg, p.reconciler(), blk.alice_raw);
+  protocol::BobSession bob(cfg, p.reconciler(), blk.bob_key);
+  protocol::PublicChannel ch;
+  const auto result = protocol::run_key_agreement_detailed(ch, alice, bob);
+  EXPECT_EQ(reg.counter("session.runs").value(), runs_before + 1);
+  EXPECT_GE(reg.counter("session.frames_delivered").value(),
+            static_cast<std::uint64_t>(result.delivered));
+  if (result.established) {
+    EXPECT_GT(reg.counter("session.established").value(), 0u);
+  }
 }
 
 TEST(Pipeline, DeterministicAcrossRuns) {
