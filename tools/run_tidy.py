@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""run_tidy.py — drive clang-tidy over the exported compile database.
+
+Filters compile_commands.json down to first-party translation units
+(src/, tests/, bench/, examples/ — system packages and generated files are
+skipped), fans clang-tidy out across cores, and fails if any check fires
+(.clang-tidy sets WarningsAsErrors: '*').
+
+Usage:
+    cmake -B build -S .          # exports compile_commands.json
+    python3 tools/run_tidy.py --build-dir build
+or  cmake --build build --target tidy
+"""
+
+import argparse
+import json
+import multiprocessing
+import subprocess
+import sys
+from pathlib import Path
+
+FIRST_PARTY_DIRS = ("src", "tests", "bench", "examples")
+
+
+def first_party_sources(build_dir, repo_root):
+    db_path = Path(build_dir) / "compile_commands.json"
+    if not db_path.is_file():
+        sys.exit(f"error: {db_path} not found; configure with "
+                 "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON first")
+    with open(db_path, encoding="utf-8") as fh:
+        db = json.load(fh)
+    sources = []
+    for entry in db:
+        src = Path(entry["file"])
+        if not src.is_absolute():
+            src = Path(entry["directory"]) / src
+        try:
+            rel = src.resolve().relative_to(repo_root)
+        except ValueError:
+            continue
+        if rel.parts and rel.parts[0] in FIRST_PARTY_DIRS:
+            sources.append(str(src.resolve()))
+    return sorted(set(sources))
+
+
+def run_one(args):
+    clang_tidy, build_dir, src = args
+    proc = subprocess.run(
+        [clang_tidy, "-p", build_dir, "--quiet", src],
+        capture_output=True, text=True)
+    return src, proc.returncode, proc.stdout, proc.stderr
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--clang-tidy", default="clang-tidy")
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--jobs", type=int,
+                    default=max(1, multiprocessing.cpu_count() - 1))
+    args = ap.parse_args(argv)
+
+    repo_root = Path(__file__).resolve().parent.parent
+    sources = first_party_sources(args.build_dir, repo_root)
+    if not sources:
+        sys.exit("error: no first-party sources found in compile database")
+    print(f"clang-tidy: {len(sources)} translation units, "
+          f"{args.jobs} jobs")
+
+    failed = 0
+    work = [(args.clang_tidy, args.build_dir, s) for s in sources]
+    with multiprocessing.Pool(args.jobs) as pool:
+        for src, rc, out, err in pool.imap_unordered(run_one, work):
+            if rc != 0:
+                failed += 1
+                rel = Path(src).relative_to(repo_root)
+                print(f"--- {rel}")
+                if out.strip():
+                    print(out.strip())
+                if err.strip():
+                    print(err.strip(), file=sys.stderr)
+    if failed:
+        print(f"clang-tidy: {failed}/{len(sources)} translation units "
+              "have findings", file=sys.stderr)
+        return 1
+    print("clang-tidy: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""vkey_lint.py — repo-invariant linter for the Vehicle-Key tree.
+
+Enforces determinism and hygiene rules that clang-tidy cannot express.
+Zero dependencies; run it directly or via `cmake --build build --target lint`.
+
+Rules
+-----
+wall-clock
+    No wall-clock reads (`std::chrono::*_clock::now`, `time()`, `clock()`,
+    `gettimeofday`, ...) in library (`src/`) or test (`tests/`) code.
+    Protocol/nn/core code must take time from the PR-1 `SimClock` (or the
+    pluggable `trace::NowFn`) so sessions are bit-reproducible; the single
+    sanctioned wall-clock entry point is `trace::wall_now_ms()` in
+    `src/common/trace.cpp`. Benches and examples measure real elapsed time
+    and are exempt.
+
+unseeded-random
+    No `rand()`, `srand()`, `std::random_device`, `std::mt19937`, or
+    `<random>` anywhere in `src/` or `tests/`. All randomness must flow
+    through the explicitly seeded generator in `common/rng.h`, otherwise
+    the paper's KAR/Eve numbers stop being reproducible.
+
+iostream-in-lib
+    No `<iostream>` in library targets (`src/`): global stream objects add
+    static-init order hazards and the library reports through the metrics /
+    table / json layers, never by printing. Benches, examples and tests are
+    driver code and may print.
+
+pragma-once
+    Every header's first preprocessor directive must be `#pragma once`.
+
+using-namespace-in-header
+    No `using namespace` at any scope in a header: it leaks into every
+    includer.
+
+Suppressions
+------------
+A violating line may carry a trailing `// vkey-lint: allow(<rule>)` comment;
+use it only with a justification nearby. Per-file exemptions live in
+ALLOWLIST below, each with a reason.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+LINT_DIRS = ("src", "tests", "bench", "examples", "tools")
+SOURCE_SUFFIXES = {".cpp", ".h", ".hpp", ".cc"}
+
+# path (repo-relative, POSIX) -> {rule: reason}. Reasons are printed with
+# --explain so the allowlist stays self-documenting.
+ALLOWLIST = {
+    "src/common/trace.cpp": {
+        "wall-clock": (
+            "wall_now_ms() is the single sanctioned wall-clock entry point; "
+            "everything else routes through trace::NowFn / SimClock"
+        ),
+    },
+}
+
+# Directories exempt from a rule wholesale.
+RULE_EXEMPT_DIRS = {
+    "wall-clock": ("bench", "examples", "tools"),
+    "unseeded-random": ("bench", "examples", "tools"),
+    "iostream-in-lib": ("bench", "examples", "tests", "tools"),
+}
+
+WALL_CLOCK_PATTERNS = [
+    re.compile(r"std\s*::\s*chrono\s*::\s*steady_clock"),
+    re.compile(r"std\s*::\s*chrono\s*::\s*system_clock"),
+    re.compile(r"std\s*::\s*chrono\s*::\s*high_resolution_clock"),
+    re.compile(r"(?<![\w:])(?:std\s*::\s*)?time\s*\(\s*(?:nullptr|NULL|0|&)"),
+    re.compile(r"(?<![\w:])(?:std\s*::\s*)?clock\s*\(\s*\)"),
+    re.compile(r"(?<![\w:])gettimeofday\s*\("),
+    re.compile(r"(?<![\w:])clock_gettime\s*\("),
+    re.compile(r"(?<![\w:])(?:std\s*::\s*)?(?:localtime|gmtime)\s*\("),
+]
+
+RANDOM_PATTERNS = [
+    re.compile(r"(?<![\w:])(?:std\s*::\s*)?s?rand\s*\(\s*\)"),
+    re.compile(r"(?<![\w:])(?:std\s*::\s*)?srand\s*\("),
+    re.compile(r"std\s*::\s*random_device"),
+    re.compile(r"std\s*::\s*(?:mt19937|minstd_rand|default_random_engine)"),
+    re.compile(r"#\s*include\s*<random>"),
+]
+
+IOSTREAM_PATTERN = re.compile(r"#\s*include\s*<iostream>")
+USING_NAMESPACE_PATTERN = re.compile(r"(?<![\w:])using\s+namespace\s+[\w:]+")
+SUPPRESS_PATTERN = re.compile(r"//\s*vkey-lint:\s*allow\(([\w, -]+)\)")
+PREPROC_PATTERN = re.compile(r"^\s*#\s*(\w+)")
+
+BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.DOTALL)
+STRING_LIT = re.compile(r'"(?:[^"\\\n]|\\.)*"')
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def top_dir(rel):
+    return rel.split("/", 1)[0]
+
+
+def rule_applies(rule, rel):
+    if top_dir(rel) in RULE_EXEMPT_DIRS.get(rule, ()):
+        return False
+    return rule not in ALLOWLIST.get(rel, {})
+
+
+def strippable_positions(text):
+    """Line numbers (1-based) fully inside block comments."""
+    inside = set()
+    for m in BLOCK_COMMENT.finditer(text):
+        start = text.count("\n", 0, m.start()) + 1
+        end = text.count("\n", 0, m.end()) + 1
+        for ln in range(start, end + 1):
+            inside.add(ln)
+    return inside
+
+
+def code_view(line):
+    """The line with string literals and trailing // comment removed."""
+    line = STRING_LIT.sub('""', line)
+    idx = line.find("//")
+    if idx >= 0:
+        line = line[:idx]
+    return line
+
+
+def scan_file(path, rel, explain):
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = text.split("\n")
+    block_lines = strippable_positions(text)
+    out = []
+
+    def check(rule, lineno, raw, message):
+        if not rule_applies(rule, rel):
+            return
+        m = SUPPRESS_PATTERN.search(raw)
+        if m and rule in {r.strip() for r in m.group(1).split(",")}:
+            return
+        out.append(Violation(rel, lineno, rule, message))
+
+    is_header = path.suffix in {".h", ".hpp"}
+    saw_pragma_once = False
+    first_directive = None
+
+    for i, raw in enumerate(lines, start=1):
+        if i in block_lines:
+            continue
+        code = code_view(raw)
+        if not code.strip():
+            continue
+
+        d = PREPROC_PATTERN.match(code)
+        if d and first_directive is None:
+            first_directive = (i, d.group(1), code.strip())
+        if "#pragma once" in code:
+            saw_pragma_once = True
+
+        for pat in WALL_CLOCK_PATTERNS:
+            if pat.search(code):
+                check("wall-clock", i, raw,
+                      "wall-clock read in deterministic code; use SimClock / "
+                      "trace::NowFn (see DESIGN.md determinism rules)")
+                break
+        for pat in RANDOM_PATTERNS:
+            if pat.search(code):
+                check("unseeded-random", i, raw,
+                      "randomness outside common/rng.h; seeded Rng only")
+                break
+        if IOSTREAM_PATTERN.search(code):
+            check("iostream-in-lib", i, raw,
+                  "<iostream> in a library target; report via metrics/"
+                  "table/json instead")
+        if is_header and USING_NAMESPACE_PATTERN.search(code):
+            check("using-namespace-in-header", i, raw,
+                  "`using namespace` leaks into every includer")
+
+    if is_header:
+        if not saw_pragma_once:
+            check("pragma-once", 1, "", "header lacks `#pragma once`")
+        elif first_directive and first_directive[1] != "pragma":
+            check("pragma-once", first_directive[0], "",
+                  "`#pragma once` must be the first preprocessor directive "
+                  f"(found `{first_directive[2]}` first)")
+
+    if explain and rel in ALLOWLIST:
+        for rule, reason in ALLOWLIST[rel].items():
+            print(f"note: {rel} exempt from [{rule}]: {reason}")
+    return out
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--explain", action="store_true",
+                    help="print allowlist reasons for scanned files")
+    ap.add_argument("paths", nargs="*",
+                    help="specific files to lint (default: whole tree)")
+    args = ap.parse_args(argv)
+
+    root = Path(args.root).resolve()
+    if args.paths:
+        files = [Path(p).resolve() for p in args.paths]
+    else:
+        files = []
+        for d in LINT_DIRS:
+            base = root / d
+            if base.is_dir():
+                files.extend(p for p in sorted(base.rglob("*"))
+                             if p.suffix in SOURCE_SUFFIXES)
+
+    violations = []
+    for f in files:
+        try:
+            rel = f.relative_to(root).as_posix()
+        except ValueError:
+            rel = f.as_posix()
+        violations.extend(scan_file(f, rel, args.explain))
+
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"vkey_lint: {len(violations)} violation(s) in "
+              f"{len({v.path for v in violations})} file(s)", file=sys.stderr)
+        return 1
+    print(f"vkey_lint: clean ({len(files)} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
