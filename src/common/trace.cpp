@@ -13,6 +13,31 @@ double wall_now_ms() {
       .count();
 }
 
+namespace {
+
+// Process-default time source. Guarded by a mutex rather than an atomic
+// because NowFn is a std::function; the copy under the lock is cheap next
+// to the histogram observe that follows it, and timers only reach here
+// when metrics collection is on.
+std::mutex default_now_mu;
+NowFn default_now_fn;  // empty -> wall clock
+
+}  // namespace
+
+void set_default_now(NowFn now) {
+  std::lock_guard<std::mutex> lock(default_now_mu);
+  default_now_fn = std::move(now);
+}
+
+double default_now_ms() {
+  NowFn fn;
+  {
+    std::lock_guard<std::mutex> lock(default_now_mu);
+    fn = default_now_fn;
+  }
+  return fn ? fn() : wall_now_ms();
+}
+
 TraceLog& TraceLog::global() {
   static TraceLog* log = new TraceLog();
   return *log;
@@ -84,7 +109,7 @@ ScopedTimer::ScopedTimer(metrics::Histogram& hist, std::string name)
 ScopedTimer::ScopedTimer(metrics::Histogram& hist, NowFn now, std::string name)
     : hist_(&hist), now_(std::move(now)), name_(std::move(name)) {
   if (!metrics::enabled()) return;
-  start_ms_ = now_ ? now_() : wall_now_ms();
+  start_ms_ = now_ ? now_() : default_now_ms();
   running_ = true;
 }
 
@@ -95,7 +120,7 @@ ScopedTimer::ScopedTimer(const std::string& name)
 double ScopedTimer::stop() {
   if (!running_) return 0.0;
   running_ = false;
-  const double elapsed = (now_ ? now_() : wall_now_ms()) - start_ms_;
+  const double elapsed = (now_ ? now_() : default_now_ms()) - start_ms_;
   hist_->observe(elapsed);
   TraceLog& log = TraceLog::global();
   if (log.enabled() && !name_.empty()) {

@@ -3,7 +3,8 @@
 // A ScopedTimer measures the lifetime of a scope and, on destruction,
 // observes the elapsed milliseconds into a Histogram and (optionally)
 // appends a span to the global TraceLog. The time source is pluggable:
-//   * default — monotonic wall clock (benches, vkey_sim, the pipeline);
+//   * default — the process-default clock: monotonic wall clock (benches,
+//     vkey_sim, the pipeline) unless set_default_now() installs an override;
 //   * any NowFn returning milliseconds — protocol code passes a lambda over
 //     the PR-1 SimClock, so spans inside a simulated session are measured
 //     in *virtual* time and stay bit-reproducible.
@@ -15,6 +16,7 @@
 // ScopedTimer never reads the clock.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -28,8 +30,21 @@ namespace vkey::trace {
 /// Millisecond time source. Must be monotone within one timer's lifetime.
 using NowFn = std::function<double()>;
 
-/// Monotonic wall clock in milliseconds (steady_clock).
+/// Monotonic wall clock in milliseconds (steady_clock). This is the single
+/// sanctioned wall-clock read in the library (vkey_lint's `wall-clock` rule
+/// allowlists only its definition); all other code takes time from a NowFn.
 double wall_now_ms();
+
+/// Install the process-default time source used by ScopedTimers constructed
+/// without an explicit NowFn (an empty function restores the wall clock).
+/// A simulation can point this at a SimClock so every timer in the process
+/// — including ones in code that never heard of virtual time — measures
+/// virtual milliseconds and stays bit-reproducible.
+void set_default_now(NowFn now);
+
+/// Milliseconds from the process-default source (wall clock unless
+/// set_default_now installed an override).
+double default_now_ms();
 
 struct Span {
   std::string name;
@@ -43,8 +58,12 @@ class TraceLog {
  public:
   static TraceLog& global();
 
-  bool enabled() const { return enabled_; }
-  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
   void set_capacity(std::size_t n);
 
   void record(const std::string& name, double start_ms, double duration_ms);
@@ -60,7 +79,9 @@ class TraceLog {
   TraceLog();
 
   mutable std::mutex mu_;
-  bool enabled_ = false;
+  // Atomic: read lock-free on every timer stop, possibly while another
+  // thread toggles it (the TSan stress test exercises exactly this).
+  std::atomic<bool> enabled_{false};
   std::size_t capacity_ = 1 << 16;
   std::size_t dropped_ = 0;
   std::vector<Span> spans_;
@@ -70,7 +91,7 @@ class TraceLog {
 /// when the scope ends; stop() ends it early and returns the elapsed ms.
 class ScopedTimer {
  public:
-  /// Time into an explicit histogram with the wall clock.
+  /// Time into an explicit histogram with the process-default clock.
   explicit ScopedTimer(metrics::Histogram& hist, std::string name = {});
   /// Time with a custom clock (e.g. a SimClock lambda, in virtual ms).
   ScopedTimer(metrics::Histogram& hist, NowFn now, std::string name = {});
@@ -87,7 +108,7 @@ class ScopedTimer {
 
  private:
   metrics::Histogram* hist_;
-  NowFn now_;  // empty -> wall clock
+  NowFn now_;  // empty -> process-default clock
   std::string name_;
   double start_ms_ = 0.0;
   bool running_ = false;
