@@ -86,7 +86,7 @@ class SmallScaleFading {
   SumOfSinusoidsRing fast_b_;
   SumOfSinusoidsRing slow_a_;
   SumOfSinusoidsRing slow_b_;
-  double k_linear_;  ///< Rician K (linear); 0 for Rayleigh
+  double k_linear_ = 0.0;  ///< Rician K (linear); 0 for Rayleigh
   double los_phase_ = 0.0;
   vkey::Rng rng_;
 };
@@ -106,9 +106,9 @@ class ShadowingProcess {
   double sigma_db() const { return sigma_db_; }
 
  private:
-  double sigma_db_;
-  double decorr_m_;
-  double value_db_;
+  double sigma_db_ = 0.0;
+  double decorr_m_ = 0.0;
+  double value_db_ = 0.0;
   vkey::Rng rng_;
 };
 
@@ -127,7 +127,7 @@ class CorrelatedShadowing {
   double advance(double delta_pos_m, double reference_value_db);
 
  private:
-  double rho_;
+  double rho_ = 0.0;
   ShadowingProcess own_;
 };
 

@@ -16,7 +16,7 @@ namespace vkey::channel {
 /// (BW = 125 kHz, SF = 12, CR = 4/8, f0 = 434 MHz, 16-byte payload).
 struct LoRaParams {
   int spreading_factor = 12;   ///< SF, 6..12
-  double bandwidth_hz = 125e3; ///< BW: 7.8k .. 500k
+  double bandwidth_hz = 125e3;  ///< BW: 7.8k .. 500k
   int coding_rate_denom = 8;   ///< CR = 4/denom, denom in 5..8
   double carrier_hz = 434e6;   ///< f0
   int preamble_symbols = 8;    ///< programmed preamble length

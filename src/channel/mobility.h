@@ -30,10 +30,10 @@ class SpeedProcess {
   double base_mps() const { return base_mps_; }
 
  private:
-  double base_mps_;
-  double sigma_mps_;
-  double tau_s_;
-  double value_mps_;
+  double base_mps_ = 0.0;
+  double sigma_mps_ = 0.0;
+  double tau_s_ = 0.0;
+  double value_mps_ = 0.0;
   double last_t_ = 0.0;
   vkey::Rng rng_;
 };
@@ -56,14 +56,14 @@ class DistanceProcess {
   double radial_speed() const { return radial_speed_mps_; }
 
  private:
-  double min_m_;
-  double max_m_;
-  double nominal_m_;
-  double sigma_m_;
-  double tau_s_;
-  double distance_m_;
+  double min_m_ = 0.0;
+  double max_m_ = 0.0;
+  double nominal_m_ = 0.0;
+  double sigma_m_ = 0.0;
+  double tau_s_ = 0.0;
+  double distance_m_ = 0.0;
   double radial_speed_mps_ = 0.0;
-  double env_speed_mps_;  ///< ground speed vs the scatter environment
+  double env_speed_mps_ = 0.0;  ///< ground speed vs the scatter environment
   double travelled_m_ = 0.0;
   double last_t_ = 0.0;
   vkey::Rng rng_;

@@ -44,7 +44,7 @@ struct ProbeRound {
   double t_round_start = 0.0;
   PacketObservation bob_rx;          ///< Bob's view of Alice's probe
   PacketObservation alice_rx;        ///< Alice's view of Bob's response
-  PacketObservation eve_rx_alice_tx; ///< Eve overhears the probe
+  PacketObservation eve_rx_alice_tx;  ///< Eve overhears the probe
   PacketObservation eve_rx_bob_tx;   ///< Eve overhears the response
   double distance_m = 0.0;           ///< Alice-Bob separation at round start
 };

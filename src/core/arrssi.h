@@ -36,8 +36,9 @@ class ArRssiExtractor {
   std::size_t window_len(std::size_t samples_per_packet) const;
 
   struct BoundaryPair {
-    double bob_arrssi;    ///< mean of the tail window of Bob's reception
-    double alice_arrssi;  ///< mean of the head window of Alice's reception
+    double bob_arrssi = 0.0;  ///< mean of the tail window of Bob's reception
+    /// Mean of the head window of Alice's reception.
+    double alice_arrssi = 0.0;
   };
 
   /// The coherence-time-adjacent pair for one probe round: Bob receives
@@ -57,7 +58,7 @@ class ArRssiExtractor {
   std::size_t values_per_packet(std::size_t n) const;
 
  private:
-  double window_fraction_;
+  double window_fraction_ = 0.0;
 };
 
 }  // namespace vkey::core

@@ -46,7 +46,7 @@ class PositionPreservingBloom {
   BitVec map_mismatch_back(const BitVec& delta_mapped) const;
 
  private:
-  std::size_t n_;
+  std::size_t n_ = 0;
   std::vector<std::size_t> perm_;      // i -> perm_[i]
   std::vector<std::size_t> inv_perm_;
   std::vector<std::uint8_t> pad_;

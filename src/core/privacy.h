@@ -32,7 +32,7 @@ class PrivacyAmplifier {
   std::size_t out_bits() const { return out_bits_; }
 
  private:
-  std::size_t out_bits_;
+  std::size_t out_bits_ = 0;
 };
 
 }  // namespace vkey::core

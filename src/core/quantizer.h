@@ -25,7 +25,7 @@ namespace vkey::core {
 struct QuantizerConfig {
   int bits_per_sample = 2;       ///< b: 1..4
   std::size_t block_size = 32;   ///< samples per adaptive block
-  double guard_band_ratio = 0.0; ///< alpha in [0,1): 0 disables guard bands
+  double guard_band_ratio = 0.0;  ///< alpha in [0,1): 0 disables guard bands
 };
 
 struct QuantizationResult {

@@ -77,7 +77,7 @@ class AutoencoderReconciler {
 
   struct DecodeResult {
     BitVec mismatch;         ///< estimated flips, original key space
-    std::size_t iterations;  ///< greedy passes used
+    std::size_t iterations = 0;  ///< greedy passes used
   };
 
   /// Alice's side: recover the estimated mismatch (in original key space).

@@ -25,8 +25,8 @@ Matrix make_sensing_matrix(std::size_t m, std::size_t n, std::uint64_t seed);
 
 struct OmpResult {
   std::vector<double> x;    ///< recovered sparse vector, length N
-  std::size_t iterations;   ///< greedy iterations performed
-  double residual_norm;     ///< final ||y - Phi x||
+  std::size_t iterations = 0;  ///< greedy iterations performed
+  double residual_norm = 0.0;  ///< final ||y - Phi x||
 };
 
 /// Orthogonal Matching Pursuit: solve y ~= Phi * x with at most
@@ -41,7 +41,7 @@ OmpResult omp(const Matrix& phi, const std::vector<double>& y,
 /// iteration count (cost accounting).
 struct CsReconcileResult {
   BitVec corrected;        ///< Alice's key after applying recovered flips
-  std::size_t iterations;
+  std::size_t iterations = 0;
 };
 CsReconcileResult cs_reconcile(const Matrix& phi, const BitVec& key_alice,
                                const std::vector<double>& syndrome_bob,

@@ -37,7 +37,7 @@ class BchCode {
 
   struct DecodeResult {
     BitVec codeword;        ///< corrected codeword (info || parity)
-    std::size_t errors;     ///< number of positions flipped
+    std::size_t errors = 0;  ///< number of positions flipped
   };
 
   /// Decode an n-bit word; nullopt if the error pattern exceeds the
@@ -49,9 +49,9 @@ class BchCode {
 
  private:
   GaloisField gf_;
-  int n_;
-  int k_;
-  int t_;
+  int n_ = 0;
+  int k_ = 0;
+  int t_ = 0;
   std::vector<std::uint8_t> generator_;  // GF(2) polynomial, LSB-first
 };
 
@@ -82,7 +82,7 @@ class BchReconciler {
   BitVec pad(const BitVec& key) const;
 
   BchCode code_;
-  std::size_t key_bits_;
+  std::size_t key_bits_ = 0;
 };
 
 }  // namespace vkey::ecc

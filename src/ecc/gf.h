@@ -38,8 +38,8 @@ class GaloisField {
   int pow(int x, int p) const;
 
  private:
-  int m_;
-  int n_;  // 2^m - 1
+  int m_ = 0;
+  int n_ = 0; // 2^m - 1
   std::vector<int> exp_;
   std::vector<int> log_;
 };

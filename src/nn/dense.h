@@ -42,8 +42,8 @@ class Dense {
   Vec affine(const Vec& x) const;
   Vec activate(const Vec& z) const;
 
-  std::size_t in_;
-  std::size_t out_;
+  std::size_t in_ = 0;
+  std::size_t out_ = 0;
   Activation act_;
   Parameter w_;  // out x in, row-major
   Parameter b_;  // out

@@ -12,7 +12,7 @@ namespace vkey::nn {
 
 /// Mean squared error and its gradient.
 struct MseResult {
-  double loss;
+  double loss = 0.0;
   Vec grad;  ///< dL/dpred
 };
 MseResult mse_loss(const Vec& pred, const Vec& target);
@@ -20,9 +20,9 @@ MseResult mse_loss(const Vec& pred, const Vec& target);
 /// Binary cross entropy on logits (sigmoid applied internally), plus the
 /// gradient w.r.t. the logits. Targets must be in [0,1].
 struct BceResult {
-  double loss;
+  double loss = 0.0;
   Vec grad;        ///< dL/dlogit = sigmoid(logit) - target
-  Vec probability; ///< sigmoid(logit), exposed to avoid recomputation
+  Vec probability;  ///< sigmoid(logit), exposed to avoid recomputation
 };
 BceResult bce_with_logits(const Vec& logits, const Vec& target);
 

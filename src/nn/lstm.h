@@ -49,9 +49,9 @@ class Lstm {
   void step(const Vec& x, const Vec& h_prev, const Vec& c_prev, Vec& h_out,
             Vec& c_out, StepCache* cache) const;
 
-  std::size_t input_;
-  std::size_t hidden_;
-  bool reverse_;
+  std::size_t input_ = 0;
+  std::size_t hidden_ = 0;
+  bool reverse_ = false;
   // Gate order within the stacked matrices: input, forget, cell, output.
   Parameter wx_;  // 4H x input
   Parameter wh_;  // 4H x hidden
@@ -75,7 +75,7 @@ class BiLstm {
   std::vector<Parameter*> parameters();
 
  private:
-  std::size_t hidden_;
+  std::size_t hidden_ = 0;
   Lstm fwd_;
   Lstm bwd_;
 };

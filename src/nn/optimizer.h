@@ -24,7 +24,7 @@ class Sgd {
 
  private:
   std::vector<Parameter*> params_;
-  double lr_;
+  double lr_ = 0.0;
 };
 
 class Adam {
@@ -40,10 +40,10 @@ class Adam {
 
  private:
   std::vector<Parameter*> params_;
-  double lr_;
-  double beta1_;
-  double beta2_;
-  double epsilon_;
+  double lr_ = 0.0;
+  double beta1_ = 0.0;
+  double beta2_ = 0.0;
+  double epsilon_ = 0.0;
   std::size_t t_ = 0;
 };
 
