@@ -47,6 +47,30 @@ ScenarioKind parse_scenario(const std::string& s, const char* argv0) {
   usage(argv0);
 }
 
+/// Strict numeric flag parsing: `std::atof`/`std::atoll` return 0 on
+/// garbage, so `--speed banana` would silently run at speed 0. Require the
+/// whole token to parse or bail out through usage().
+double parse_double(const char* flag, const char* s, const char* argv0) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "%s expects a number, got '%s'\n", flag, s);
+    usage(argv0);
+  }
+  return v;
+}
+
+std::uint64_t parse_u64(const char* flag, const char* s, const char* argv0) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || s[0] == '-') {
+    std::fprintf(stderr, "%s expects a non-negative integer, got '%s'\n",
+                 flag, s);
+    usage(argv0);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
 int cmd_generate(int argc, char** argv) {
   ScenarioKind kind = ScenarioKind::kV2VUrban;
   double speed = 50.0;
@@ -60,9 +84,9 @@ int cmd_generate(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--scenario") kind = parse_scenario(next(), argv[0]);
-    else if (arg == "--speed") speed = std::atof(next());
-    else if (arg == "--rounds") rounds = static_cast<std::size_t>(std::atoll(next()));
-    else if (arg == "--seed") seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (arg == "--speed") speed = parse_double("--speed", next(), argv[0]);
+    else if (arg == "--rounds") rounds = static_cast<std::size_t>(parse_u64("--rounds", next(), argv[0]));
+    else if (arg == "--seed") seed = parse_u64("--seed", next(), argv[0]);
     else if (arg == "--out") out = next();
     else usage(argv[0]);
   }

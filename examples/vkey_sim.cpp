@@ -4,7 +4,7 @@
 // prints the evaluation metrics; useful for parameter exploration without
 // writing code.
 //
-//   ./build/examples/vkey_sim --scenario v2v-urban --speed 60 \
+//   ./build/examples/vkey_sim --scenario v2v-urban --speed 60
 //       --train-rounds 600 --test-rounds 400 --seed 7 [--no-prediction]
 //
 // Flags (all optional):
@@ -64,6 +64,30 @@ namespace {
   std::exit(2);
 }
 
+/// Strict numeric flag parsing: `std::atof`/`std::atoll` return 0 on
+/// garbage, so `--drop banana` would silently run a lossless link. Require
+/// the whole token to parse or bail out through usage().
+double parse_double(const char* flag, const char* s, const char* argv0) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "%s expects a number, got '%s'\n", flag, s);
+    usage(argv0);
+  }
+  return v;
+}
+
+std::uint64_t parse_u64(const char* flag, const char* s, const char* argv0) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || s[0] == '-') {
+    std::fprintf(stderr, "%s expects a non-negative integer, got '%s'\n",
+                 flag, s);
+    usage(argv0);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
 /// Clamp a fault probability into [lo, hi], warning on stderr when the
 /// value had to be moved (a typo'd `--drop 25` should not silently behave
 /// like certain loss).
@@ -108,22 +132,24 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage(argv[0]);
       return argv[++i];
     };
+    auto next_double = [&]() { return parse_double(arg.c_str(), next(), argv[0]); };
+    auto next_u64 = [&]() { return parse_u64(arg.c_str(), next(), argv[0]); };
     if (arg == "--scenario") kind = parse_scenario(next(), argv[0]);
-    else if (arg == "--speed") speed = std::atof(next());
-    else if (arg == "--train-rounds") train_rounds = static_cast<std::size_t>(std::atoll(next()));
-    else if (arg == "--test-rounds") test_rounds = static_cast<std::size_t>(std::atoll(next()));
-    else if (arg == "--hidden") cfg.predictor.hidden = static_cast<std::size_t>(std::atoll(next()));
-    else if (arg == "--epochs") cfg.predictor_epochs = static_cast<std::size_t>(std::atoll(next()));
-    else if (arg == "--decoder-units") cfg.reconciler.decoder_units = static_cast<std::size_t>(std::atoll(next()));
-    else if (arg == "--seed") cfg.trace.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (arg == "--speed") speed = next_double();
+    else if (arg == "--train-rounds") train_rounds = static_cast<std::size_t>(next_u64());
+    else if (arg == "--test-rounds") test_rounds = static_cast<std::size_t>(next_u64());
+    else if (arg == "--hidden") cfg.predictor.hidden = static_cast<std::size_t>(next_u64());
+    else if (arg == "--epochs") cfg.predictor_epochs = static_cast<std::size_t>(next_u64());
+    else if (arg == "--decoder-units") cfg.reconciler.decoder_units = static_cast<std::size_t>(next_u64());
+    else if (arg == "--seed") cfg.trace.seed = next_u64();
     else if (arg == "--no-prediction") cfg.use_prediction = false;
     // The channel model requires drop < 1 (certain loss can never make
     // progress); the other fault probabilities live in [0, 1].
-    else if (arg == "--drop") { fault.drop_prob = clamp_prob("--drop", std::atof(next()), 0.0, 0.99); run_link = true; }
-    else if (arg == "--reorder") { fault.reorder_prob = clamp_prob("--reorder", std::atof(next()), 0.0, 1.0); run_link = true; }
-    else if (arg == "--dup") { fault.dup_prob = clamp_prob("--dup", std::atof(next()), 0.0, 1.0); run_link = true; }
-    else if (arg == "--corrupt") { fault.corrupt_prob = clamp_prob("--corrupt", std::atof(next()), 0.0, 1.0); run_link = true; }
-    else if (arg == "--link-seed") { fault.seed = static_cast<std::uint64_t>(std::atoll(next())); run_link = true; }
+    else if (arg == "--drop") { fault.drop_prob = clamp_prob("--drop", next_double(), 0.0, 0.99); run_link = true; }
+    else if (arg == "--reorder") { fault.reorder_prob = clamp_prob("--reorder", next_double(), 0.0, 1.0); run_link = true; }
+    else if (arg == "--dup") { fault.dup_prob = clamp_prob("--dup", next_double(), 0.0, 1.0); run_link = true; }
+    else if (arg == "--corrupt") { fault.corrupt_prob = clamp_prob("--corrupt", next_double(), 0.0, 1.0); run_link = true; }
+    else if (arg == "--link-seed") { fault.seed = next_u64(); run_link = true; }
     else if (arg == "--metrics") dump_metrics = true;
     else if (arg == "--metrics-json") metrics_json_path = next();
     else usage(argv[0]);

@@ -62,8 +62,10 @@ CascadeResult cascade_reconcile(const BitVec& alice, const BitVec& bob,
   auto budget_left = [&] { return result.messages < cfg.max_messages; };
 
   auto block_parity_diff = [&](const std::vector<std::size_t>& blk) {
-    std::size_t diff = 0;
-    for (std::size_t p : blk) diff ^= work.get(p) ^ bob.get(p);
+    std::uint8_t diff = 0;
+    for (std::size_t p : blk) {
+      diff ^= static_cast<std::uint8_t>(work.get(p) ^ bob.get(p));
+    }
     ++result.messages;  // Bob discloses this block's parity
     ++result.leaked_bits;
     return diff != 0;
@@ -75,9 +77,9 @@ CascadeResult cascade_reconcile(const BitVec& alice, const BitVec& bob,
     std::size_t lo = 0, hi = blk.size();
     while (hi - lo > 1 && budget_left()) {
       const std::size_t mid = lo + (hi - lo) / 2;
-      std::size_t diff = 0;
+      std::uint8_t diff = 0;
       for (std::size_t i = lo; i < mid; ++i) {
-        diff ^= work.get(blk[i]) ^ bob.get(blk[i]);
+        diff ^= static_cast<std::uint8_t>(work.get(blk[i]) ^ bob.get(blk[i]));
       }
       ++result.messages;  // Bob discloses the half-block parity
       ++result.leaked_bits;
@@ -111,8 +113,10 @@ CascadeResult cascade_reconcile(const BitVec& alice, const BitVec& bob,
       queue.pop_front();
       const auto& blk = layouts[qit].blocks[qb];
       // Parity may have been fixed by a cascaded correction already.
-      std::size_t diff = 0;
-      for (std::size_t p : blk) diff ^= work.get(p) ^ bob.get(p);
+      std::uint8_t diff = 0;
+      for (std::size_t p : blk) {
+        diff ^= static_cast<std::uint8_t>(work.get(p) ^ bob.get(p));
+      }
       if (diff == 0) continue;
       const std::size_t fixed = binary_search_fix(blk);
 
@@ -120,9 +124,9 @@ CascadeResult cascade_reconcile(const BitVec& alice, const BitVec& bob,
       for (std::size_t j = 0; j <= it; ++j) {
         if (j == qit) continue;
         const std::size_t jb = layouts[j].block_of[fixed];
-        std::size_t jdiff = 0;
+        std::uint8_t jdiff = 0;
         for (std::size_t p : layouts[j].blocks[jb]) {
-          jdiff ^= work.get(p) ^ bob.get(p);
+          jdiff ^= static_cast<std::uint8_t>(work.get(p) ^ bob.get(p));
         }
         if (jdiff != 0) queue.emplace_back(j, jb);
       }

@@ -31,8 +31,8 @@ struct CascadeConfig {
 
 struct CascadeResult {
   BitVec corrected;        ///< Alice's key after reconciliation
-  std::size_t messages;    ///< parity-exchange messages
-  std::size_t leaked_bits; ///< parity bits disclosed to the channel
+  std::size_t messages = 0;     ///< parity-exchange messages
+  std::size_t leaked_bits = 0;  ///< parity bits disclosed to the channel
 };
 
 /// Reconcile `alice` toward `bob` (sizes must match).

@@ -84,7 +84,7 @@ Aes128::Aes128(const std::array<std::uint8_t, kKeySize>& key) {
       t[3] = sb[tmp];
       rcon = xtime(rcon);
     }
-    for (int j = 0; j < 4; ++j) {
+    for (std::size_t j = 0; j < 4; ++j) {
       round_keys_[i + j] =
           static_cast<std::uint8_t>(round_keys_[i + j - kKeySize] ^ t[j]);
     }
@@ -93,8 +93,8 @@ Aes128::Aes128(const std::array<std::uint8_t, kKeySize>& key) {
 
 void Aes128::encrypt_block(std::uint8_t s[kBlockSize]) const {
   const auto& sb = boxes().sbox;
-  auto add_round_key = [&](int round) {
-    for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[round * 16 + i];
+  auto add_round_key = [&](std::size_t round) {
+    for (std::size_t i = 0; i < 16; ++i) s[i] ^= round_keys_[round * 16 + i];
   };
   auto sub_bytes = [&] {
     for (int i = 0; i < 16; ++i) s[i] = sb[s[i]];
@@ -121,7 +121,7 @@ void Aes128::encrypt_block(std::uint8_t s[kBlockSize]) const {
   };
 
   add_round_key(0);
-  for (int round = 1; round <= 9; ++round) {
+  for (std::size_t round = 1; round <= 9; ++round) {
     sub_bytes();
     shift_rows();
     mix_columns();
@@ -134,8 +134,8 @@ void Aes128::encrypt_block(std::uint8_t s[kBlockSize]) const {
 
 void Aes128::decrypt_block(std::uint8_t s[kBlockSize]) const {
   const auto& isb = boxes().inv_sbox;
-  auto add_round_key = [&](int round) {
-    for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[round * 16 + i];
+  auto add_round_key = [&](std::size_t round) {
+    for (std::size_t i = 0; i < 16; ++i) s[i] ^= round_keys_[round * 16 + i];
   };
   auto inv_sub_bytes = [&] {
     for (int i = 0; i < 16; ++i) s[i] = isb[s[i]];
@@ -166,7 +166,7 @@ void Aes128::decrypt_block(std::uint8_t s[kBlockSize]) const {
   };
 
   add_round_key(10);
-  for (int round = 9; round >= 1; --round) {
+  for (std::size_t round = 9; round >= 1; --round) {
     inv_shift_rows();
     inv_sub_bytes();
     add_round_key(round);

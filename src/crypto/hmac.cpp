@@ -36,7 +36,9 @@ bool constant_time_equal(const std::vector<std::uint8_t>& a,
                          const std::vector<std::uint8_t>& b) {
   if (a.size() != b.size()) return false;
   std::uint8_t acc = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  }
   return acc == 0;
 }
 

@@ -114,7 +114,7 @@ std::array<std::uint8_t, Sha256::kDigestSize> Sha256::finalize() {
   finalized_ = true;
 
   std::array<std::uint8_t, kDigestSize> out{};
-  for (int i = 0; i < 8; ++i) {
+  for (std::size_t i = 0; i < 8; ++i) {
     out[i * 4] = static_cast<std::uint8_t>(state_[i] >> 24);
     out[i * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
     out[i * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
