@@ -30,8 +30,8 @@ class BitVec {
   static BitVec from_bytes(const std::vector<std::uint8_t>& bytes,
                            std::size_t nbits);
 
-  std::size_t size() const { return bits_.size(); }
-  bool empty() const { return bits_.empty(); }
+  std::size_t size() const noexcept { return bits_.size(); }
+  bool empty() const noexcept { return bits_.empty(); }
 
   /// Bit access (0 or 1). Bounds-checked.
   std::uint8_t get(std::size_t i) const;
@@ -50,8 +50,12 @@ class BitVec {
   /// Element-wise XOR; sizes must match.
   BitVec operator^(const BitVec& rhs) const;
 
-  bool operator==(const BitVec& rhs) const { return bits_ == rhs.bits_; }
-  bool operator!=(const BitVec& rhs) const { return bits_ != rhs.bits_; }
+  bool operator==(const BitVec& rhs) const noexcept {
+    return bits_ == rhs.bits_;
+  }
+  bool operator!=(const BitVec& rhs) const noexcept {
+    return bits_ != rhs.bits_;
+  }
 
   /// Number of set bits.
   std::size_t weight() const;
@@ -75,7 +79,7 @@ class BitVec {
   static BitVec from_doubles_threshold(const std::vector<double>& v,
                                        double threshold = 0.5);
 
-  const std::vector<std::uint8_t>& raw() const { return bits_; }
+  const std::vector<std::uint8_t>& raw() const noexcept { return bits_; }
 
  private:
   std::vector<std::uint8_t> bits_;  // one byte per bit; values 0 or 1

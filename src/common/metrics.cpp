@@ -25,12 +25,14 @@ std::atomic<bool>& enabled_flag() {
 
 }  // namespace
 
-bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
-void set_enabled(bool on) {
+bool enabled() noexcept {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+void set_enabled(bool on) noexcept {
   enabled_flag().store(on, std::memory_order_relaxed);
 }
 
-void Gauge::add(double delta) {
+void Gauge::add(double delta) noexcept {
   if (!enabled()) return;
   double cur = v_.load(std::memory_order_relaxed);
   while (!v_.compare_exchange_weak(cur, cur + delta,

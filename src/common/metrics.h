@@ -35,16 +35,18 @@
 namespace vkey::metrics {
 
 /// Global collection switch (initialized from VKEY_METRICS; default on).
-bool enabled();
-void set_enabled(bool on);
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
 
 class Counter {
  public:
-  void add(std::uint64_t n = 1) {
+  void add(std::uint64_t n = 1) noexcept {
     if (enabled()) v_.fetch_add(n, std::memory_order_relaxed);
   }
-  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
-  void reset() { v_.store(0, std::memory_order_relaxed); }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
 
  private:
   std::atomic<std::uint64_t> v_{0};
@@ -52,13 +54,15 @@ class Counter {
 
 class Gauge {
  public:
-  void set(double v) {
+  void set(double v) noexcept {
     if (enabled()) v_.store(v, std::memory_order_relaxed);
   }
   /// Lock-free accumulate (compare-exchange loop).
-  void add(double delta);
-  double value() const { return v_.load(std::memory_order_relaxed); }
-  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+  void add(double delta) noexcept;
+  double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0.0, std::memory_order_relaxed); }
 
  private:
   std::atomic<double> v_{0.0};
@@ -72,7 +76,9 @@ class Histogram {
 
   void observe(double v);
 
-  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
   double sum() const;
   double mean() const;
   const std::vector<double>& bounds() const { return bounds_; }

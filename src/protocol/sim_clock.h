@@ -22,7 +22,7 @@ class SimClock {
   using Callback = std::function<void()>;
 
   /// Current virtual time [ms]. Starts at 0.
-  double now_ms() const { return now_ms_; }
+  double now_ms() const noexcept { return now_ms_; }
 
   /// Schedule `fn` to run `delay_ms` from now (negative delays clamp to 0).
   /// Returns an id usable with cancel().
@@ -45,7 +45,7 @@ class SimClock {
   /// guard). Returns the number of events run.
   std::size_t run_until_idle(std::size_t max_events = 1u << 20);
 
-  std::size_t pending() const { return queue_.size(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
 
  private:
   using Key = std::pair<double, EventId>;  // (due time, insertion order)
