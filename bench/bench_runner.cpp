@@ -77,13 +77,15 @@ struct Options {
   bool quick = false;
   bool regen_only = false;
   bool check_docs = false;
+  std::string threads;  // forwarded to every bench; empty = bench default
 };
 
 [[noreturn]] void usage(const char* argv0, int code) {
   std::fprintf(
       stderr,
       "usage: %s [--quick] [--regen-only] [--check-docs] [--only <name>]\n"
-      "          [--bin-dir <dir>] [--data <dir>] [--docs <path>]\n",
+      "          [--threads <n>] [--bin-dir <dir>] [--data <dir>] "
+      "[--docs <path>]\n",
       argv0);
   std::exit(code);
 }
@@ -109,6 +111,15 @@ Options parse_args(int argc, char** argv) {
       opt.check_docs = true;
     } else if (a == "--only") {
       opt.only = value("--only");
+    } else if (a == "--threads") {
+      opt.threads = value("--threads");
+      if (opt.threads.empty() ||
+          opt.threads.find_first_not_of("0123456789") != std::string::npos ||
+          opt.threads == "0") {
+        std::fprintf(stderr, "%s: --threads needs a positive integer\n",
+                     argv[0]);
+        std::exit(2);
+      }
     } else if (a == "--bin-dir") {
       opt.bin_dir = value("--bin-dir");
     } else if (a == "--data") {
@@ -200,6 +211,7 @@ int run_benches(const Options& opt, const fs::path& data_dir) {
     const fs::path snap = data_dir / ("BENCH_" + std::string(spec.name) + ".json");
     std::string cmd = bin.string() + " --json " + snap.string();
     if (opt.quick) cmd += " --quick";
+    if (!opt.threads.empty()) cmd += " --threads " + opt.threads;
     std::printf("== bench_%s ==\n", spec.name);
     std::fflush(stdout);
     const int rc = std::system(cmd.c_str());

@@ -1,12 +1,29 @@
 #include "common/bench_io.h"
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
 #include "common/metrics.h"
+#include "common/parallel.h"
 
 namespace vkey {
+
+namespace {
+
+constexpr const char* kUsage = "[--quick] [--json <path>] [--threads <n>]";
+
+// Strict positive-integer parse: the whole token must be digits.
+bool parse_threads(const std::string& s, std::size_t& out) {
+  std::size_t v = 0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || p != s.data() + s.size() || v == 0) return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
 
 BenchReport::BenchReport(std::string name, int argc, char** argv)
     : name_(std::move(name)) {
@@ -20,13 +37,20 @@ BenchReport::BenchReport(std::string name, int argc, char** argv)
         std::exit(2);
       }
       path_ = argv[++i];
+    } else if (arg == "--threads") {
+      std::size_t n = 0;
+      if (i + 1 >= argc || !parse_threads(argv[++i], n)) {
+        std::fprintf(stderr, "%s: --threads needs a positive integer\n",
+                     argv[0]);
+        std::exit(2);
+      }
+      parallel::set_default_threads(n);
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [--quick] [--json <path>]\n", argv[0]);
+      std::printf("usage: %s %s\n", argv[0], kUsage);
       std::exit(0);
     } else {
-      std::fprintf(stderr, "%s: unknown argument '%s' "
-                   "(usage: %s [--quick] [--json <path>])\n",
-                   argv[0], arg.c_str(), argv[0]);
+      std::fprintf(stderr, "%s: unknown argument '%s' (usage: %s %s)\n",
+                   argv[0], arg.c_str(), argv[0], kUsage);
       std::exit(2);
     }
   }

@@ -1,10 +1,11 @@
 // Machine-readable bench output.
 //
-// Every bench binary owns a BenchReport: it parses the two flags common to
-// the whole suite (`--json <path>` — write a BENCH_<name>.json snapshot,
-// `--quick` — run a reduced-size variant for CI smoke runs), collects the
-// tables the bench prints plus any extra scalars/notes, and writes one JSON
-// document per run:
+// Every bench binary owns a BenchReport: it parses the flags common to the
+// whole suite (`--json <path>` — write a BENCH_<name>.json snapshot,
+// `--quick` — run a reduced-size variant for CI smoke runs, `--threads N` —
+// worker lanes for the parallel stages; N=1 is the sequential reference and
+// every N produces bit-identical results), collects the tables the bench
+// prints plus any extra scalars/notes, and writes one JSON document per run:
 //
 //   {
 //     "bench": "<name>", "schema": 1, "quick": false,
@@ -17,7 +18,8 @@
 // bench_runner can regenerate EXPERIMENTS.md tables byte-identically from
 // the snapshot. The metrics section carries the full registry (timings,
 // FLOPs, airtime) for observability; it is the only non-deterministic part
-// of the file.
+// of the file. `--threads` deliberately does not appear in the document:
+// the snapshot must byte-match across lane counts (CI diffs it).
 #pragma once
 
 #include <string>
@@ -31,6 +33,9 @@ class BenchReport {
  public:
   /// `name` is the suite name without the BENCH_ prefix (e.g.
   /// "fig2_preliminary"). Exits with usage on unknown arguments.
+  /// `--threads N` installs N as the process-wide default lane count
+  /// (parallel::set_default_threads); the default is the hardware
+  /// concurrency (or VKEY_THREADS).
   BenchReport(std::string name, int argc, char** argv);
 
   bool quick() const { return quick_; }

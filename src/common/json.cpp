@@ -129,7 +129,17 @@ void Value::dump_to(std::string& out, int indent, int depth) const {
   switch (type_) {
     case Type::kNull: out += "null"; break;
     case Type::kBool: out += bool_ ? "true" : "false"; break;
-    case Type::kNumber: out += format_number(num_); break;
+    case Type::kNumber:
+      // JSON has no NaN/Infinity literal. format_number stays strict for
+      // direct callers, but a document that picked up a non-finite double
+      // (degenerate config upstream of a division, say) must serialize as
+      // valid JSON every downstream parser accepts: normalize to null.
+      if (std::isfinite(num_)) {
+        out += format_number(num_);
+      } else {
+        out += "null";
+      }
+      break;
     case Type::kString:
       out += '"';
       out += escape(str_);

@@ -95,7 +95,9 @@ std::string escape(const std::string& s);
 
 /// Shortest round-trip decimal formatting of a double (std::to_chars), the
 /// rule that makes dumps deterministic across runs. Integral values within
-/// 2^53 are printed without a decimal point. Throws on NaN/Inf.
+/// 2^53 are printed without a decimal point. Throws on NaN/Inf; Value::dump
+/// instead normalizes a non-finite number to null so a degenerate metric can
+/// never produce a document that downstream parsers reject.
 std::string format_number(double v);
 
 }  // namespace vkey::json

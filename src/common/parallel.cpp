@@ -1,0 +1,220 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.h"
+#include "common/metrics.h"
+
+namespace vkey::parallel {
+
+namespace {
+
+// Registered once; afterwards each dispatch is one relaxed atomic op, the
+// same budget as the rest of the metrics layer.
+metrics::Counter& tasks_counter() {
+  static metrics::Counter& c =
+      metrics::Registry::global().counter("pipeline.parallel.tasks");
+  return c;
+}
+
+metrics::Gauge& queue_depth_gauge() {
+  static metrics::Gauge& g =
+      metrics::Registry::global().gauge("parallel.pool.queue_depth");
+  return g;
+}
+
+std::size_t hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t startup_default() {
+  if (const char* env = std::getenv("VKEY_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  return hardware_threads();
+}
+
+std::atomic<std::size_t>& default_threads_slot() {
+  static std::atomic<std::size_t> v{startup_default()};
+  return v;
+}
+
+}  // namespace
+
+std::size_t default_threads() {
+  return default_threads_slot().load(std::memory_order_relaxed);
+}
+
+void set_default_threads(std::size_t n) {
+  default_threads_slot().store(n == 0 ? startup_default() : n,
+                               std::memory_order_relaxed);
+}
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> queue;
+  std::vector<std::thread> workers;
+  bool stop = false;
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return stop || !queue.empty(); });
+        if (stop && queue.empty()) return;
+        task = std::move(queue.front());
+        queue.pop_front();
+        queue_depth_gauge().set(static_cast<double>(queue.size()));
+      }
+      task();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t workers) : impl_(new Impl()) {
+  const std::size_t n = workers == 0 ? 1 : workers;
+  impl_->workers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  for (auto& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+std::size_t ThreadPool::workers() const noexcept {
+  return impl_->workers.size();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    VKEY_REQUIRE(!impl_->stop, "submit on a stopped pool");
+    impl_->queue.push_back(std::move(task));
+    queue_depth_gauge().set(static_cast<double>(impl_->queue.size()));
+  }
+  tasks_counter().add(1);
+  impl_->cv.notify_one();
+}
+
+ThreadPool& ThreadPool::global() {
+  // Never destroyed: worker threads must not outlive a destructed pool and
+  // static teardown order across translation units is unknowable (same
+  // pattern as metrics::Registry::global()).
+  static ThreadPool* pool = [] {
+    std::size_t n = hardware_threads();
+    if (n < 2) n = 2;
+    if (default_threads() > n) n = default_threads();
+    return new ThreadPool(n);
+  }();
+  return *pool;
+}
+
+namespace {
+
+/// State shared between the caller and its borrowed workers for one
+/// parallel_for call. Lives on the caller's stack: the caller joins every
+/// helper before returning.
+struct ForState {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t helpers_active = 0;
+  // Lowest observed throwing index wins, so a single failing index
+  // propagates deterministically under any schedule.
+  std::size_t err_index = 0;
+  std::exception_ptr err;
+
+  void run_chunks() {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t begin =
+          cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const std::size_t end = begin + grain < n ? begin + grain : n;
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          (*fn)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!err || i < err_index) {
+            err = std::current_exception();
+            err_index = i;
+          }
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads) {
+  // Touch the pool instruments on every call, including the inline path:
+  // which names exist in a metrics snapshot must depend only on the code
+  // path taken, never on the lane count (CI byte-diffs snapshots between
+  // --threads 1 and --threads 4).
+  tasks_counter();
+  queue_depth_gauge();
+  if (n == 0) return;
+  std::size_t lanes = threads == 0 ? default_threads() : threads;
+  if (lanes > n) lanes = n;
+  if (lanes <= 1) {
+    // The single-thread reference path: no pool, no atomics, pure loop.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  ThreadPool& pool = ThreadPool::global();
+  if (lanes > pool.workers() + 1) lanes = pool.workers() + 1;
+
+  ForState st;
+  st.fn = &fn;
+  st.n = n;
+  // Coarse enough to amortize the cursor, fine enough to balance lanes.
+  st.grain = n / (lanes * 8) > 1 ? n / (lanes * 8) : 1;
+  st.helpers_active = lanes - 1;
+
+  for (std::size_t h = 0; h + 1 < lanes; ++h) {
+    pool.submit([&st] {
+      st.run_chunks();
+      std::lock_guard<std::mutex> lock(st.mu);
+      if (--st.helpers_active == 0) st.done_cv.notify_all();
+    });
+  }
+  st.run_chunks();  // the caller is a lane too
+
+  std::unique_lock<std::mutex> lock(st.mu);
+  st.done_cv.wait(lock, [&] { return st.helpers_active == 0; });
+  if (st.err) std::rethrow_exception(st.err);
+}
+
+}  // namespace vkey::parallel

@@ -1,9 +1,12 @@
 #include "core/pipeline.h"
 
 #include <cmath>
+#include <optional>
+#include <utility>
 
 #include "common/error.h"
 #include "common/metrics.h"
+#include "common/parallel.h"
 #include "common/stats.h"
 #include "common/trace.h"
 
@@ -29,6 +32,9 @@ KeyGenPipeline::KeyGenPipeline(const PipelineConfig& config) : cfg_(config) {
                "reconciler block must be a multiple of the fragment width");
   VKEY_REQUIRE(cfg_.dataset.seq_len == cfg_.predictor.seq_len,
                "dataset and predictor sequence lengths must match");
+  // The reconciler trains inside run(); unless the caller pinned its lane
+  // count explicitly it inherits the pipeline-wide setting.
+  if (cfg_.reconciler.threads == 0) cfg_.reconciler.threads = cfg_.threads;
 }
 
 PredictorQuantizer& KeyGenPipeline::predictor() {
@@ -51,6 +57,8 @@ PipelineMetrics KeyGenPipeline::run(std::size_t train_rounds,
   static metrics::Histogram& predict_ms = stage_hist("predict");
   static metrics::Histogram& quantize_ms = stage_hist("quantize");
   static metrics::Histogram& reconcile_ms = stage_hist("reconcile");
+  static metrics::Histogram& eval_ms = stage_hist("eval");
+  static metrics::Counter& quantized_bits = bit_counter("bits.quantized");
   bit_counter("runs").add(1);
 
   channel::TraceGenerator gen(cfg_.trace);
@@ -89,88 +97,119 @@ PipelineMetrics KeyGenPipeline::run(std::size_t train_rounds,
   }
 
   // --- evaluation ---
-  MultiBitQuantizer fallback_quant([&] {
+  // Every per-sample and per-block step below is a pure function of the
+  // trained (now immutable) models, so the stage fans out through the
+  // deterministic pool: results land in index-addressed slots and every
+  // order-sensitive reduction runs on this thread in index order, which
+  // keeps the output bit-identical for any thread count.
+  trace::ScopedTimer eval_timer(eval_ms, "pipeline.eval");
+  const std::size_t frag_bits = cfg_.predictor.key_bits;
+  const std::size_t block_bits = cfg_.reconciler.key_bits;
+
+  // The multi-bit fallback is only needed for the Fig. 10 ablation branch;
+  // the normal prediction path never constructs it.
+  std::optional<MultiBitQuantizer> fallback_quant;
+  if (!cfg_.use_prediction) {
     QuantizerConfig qc = cfg_.dataset.quantizer;
     qc.guard_band_ratio = 0.0;
     qc.block_size = std::min(qc.block_size, cfg_.dataset.seq_len);
-    return qc;
-  }());
+    fallback_quant.emplace(qc);
+  }
 
-  blocks_.clear();
-  BitVec alice_acc, bob_acc, eve_acc;
+  struct Fragment {
+    BitVec alice, eve;
+  };
+  const auto fragments = parallel::parallel_map(
+      test_samples,
+      [&](const TrainingSample& s, std::size_t) {
+        Fragment f;
+        if (cfg_.use_prediction) {
+          trace::ScopedTimer t(predict_ms);
+          f.alice = predictor_->infer(s.alice_seq).bits;
+          f.eve = predictor_->infer(s.eve_seq).bits;
+        } else {
+          // Ablation: Alice quantizes her own window directly.
+          trace::ScopedTimer t(quantize_ms);
+          std::vector<double> a(s.alice_seq.begin(), s.alice_seq.end());
+          std::vector<double> e(s.eve_seq.begin(), s.eve_seq.end());
+          f.alice = fallback_quant->quantize(a).bits;
+          f.eve = fallback_quant->quantize(e).bits;
+          // Pad/trim to the fragment width (guard bands disabled, so sizes
+          // normally already match).
+          while (f.alice.size() < frag_bits) f.alice.push_back(false);
+          f.alice = f.alice.slice(0, frag_bits);
+          while (f.eve.size() < frag_bits) f.eve.push_back(false);
+          f.eve = f.eve.slice(0, frag_bits);
+        }
+        quantized_bits.add(f.alice.size());
+        return f;
+      },
+      cfg_.threads);
+
+  // Concatenate the fixed-width fragments once; blocks then read at bit
+  // offsets instead of repeatedly re-slicing shrinking accumulators.
+  BitVec alice_bits, bob_bits, eve_bits;
+  for (std::size_t i = 0; i < fragments.size(); ++i) {
+    VKEY_REQUIRE(fragments[i].alice.size() == frag_bits &&
+                     test_samples[i].bob_bits.size() == frag_bits,
+                 "fragment width mismatch");
+    alice_bits.append(fragments[i].alice);
+    eve_bits.append(fragments[i].eve);
+    bob_bits.append(test_samples[i].bob_bits);
+  }
+
+  const std::size_t n_blocks = alice_bits.size() / block_bits;
+  VKEY_REQUIRE(n_blocks >= 1, "not enough test data for one key block");
+  blocks_.assign(n_blocks, KeyBlockResult{});
+  parallel::parallel_for(
+      n_blocks,
+      [&](std::size_t b) {
+        const std::size_t off = b * block_bits;
+        KeyBlockResult blk;
+        blk.bob_key = bob_bits.slice(off, block_bits);
+        const BitVec ka = alice_bits.slice(off, block_bits);
+        const BitVec ke = eve_bits.slice(off, block_bits);
+        blk.alice_raw = ka;
+        blk.kar_pre = ka.agreement(blk.bob_key);
+        {
+          trace::ScopedTimer t(reconcile_ms);
+          const auto y_bob = reconciler_->encode_bob(blk.bob_key);
+          blk.alice_corrected = reconciler_->reconcile(ka, y_bob);
+          blk.kar_post = blk.alice_corrected.agreement(blk.bob_key);
+          blk.success = blk.alice_corrected == blk.bob_key;
+          // Eve eavesdrops y_Bob and runs the public decoder with her key:
+          // one-shot (the paper's Fig. 15 attack) and iterative (stronger).
+          blk.eve_kar_post =
+              reconciler_->reconcile_one_shot(ke, y_bob).agreement(
+                  blk.bob_key);
+          blk.eve_kar_iterative =
+              reconciler_->reconcile(ke, y_bob).agreement(blk.bob_key);
+        }
+        blocks_[b] = std::move(blk);
+      },
+      cfg_.threads);
+
+  // Ordered reduction over the finished blocks.
   std::vector<double> kar_pre_list, kar_post_list, eve_list, eve_iter_list;
   std::size_t success = 0;
-
-  for (const auto& s : test_samples) {
-    BitVec alice_frag, eve_frag;
-    if (cfg_.use_prediction) {
-      trace::ScopedTimer t(predict_ms);
-      alice_frag = predictor_->infer(s.alice_seq).bits;
-      eve_frag = predictor_->infer(s.eve_seq).bits;
-    } else {
-      // Ablation: Alice quantizes her own window directly.
-      trace::ScopedTimer t(quantize_ms);
-      std::vector<double> a(s.alice_seq.begin(), s.alice_seq.end());
-      std::vector<double> e(s.eve_seq.begin(), s.eve_seq.end());
-      alice_frag = fallback_quant.quantize(a).bits;
-      eve_frag = fallback_quant.quantize(e).bits;
-      // Pad/trim to the fragment width (guard bands disabled, so sizes
-      // normally already match).
-      while (alice_frag.size() < cfg_.predictor.key_bits)
-        alice_frag.push_back(false);
-      alice_frag = alice_frag.slice(0, cfg_.predictor.key_bits);
-      while (eve_frag.size() < cfg_.predictor.key_bits)
-        eve_frag.push_back(false);
-      eve_frag = eve_frag.slice(0, cfg_.predictor.key_bits);
+  kar_pre_list.reserve(n_blocks);
+  kar_post_list.reserve(n_blocks);
+  eve_list.reserve(n_blocks);
+  eve_iter_list.reserve(n_blocks);
+  for (const auto& blk : blocks_) {
+    bit_counter("blocks.total").add(1);
+    bit_counter("bits.reconciled").add(block_bits);
+    if (blk.success) {
+      bit_counter("blocks.success").add(1);
+      bit_counter("bits.agreed").add(block_bits);
+      ++success;
     }
-    alice_acc.append(alice_frag);
-    eve_acc.append(eve_frag);
-    bob_acc.append(s.bob_bits);
-    bit_counter("bits.quantized").add(alice_frag.size());
-
-    if (alice_acc.size() >= cfg_.reconciler.key_bits) {
-      KeyBlockResult blk;
-      blk.bob_key = bob_acc.slice(0, cfg_.reconciler.key_bits);
-      const BitVec ka = alice_acc.slice(0, cfg_.reconciler.key_bits);
-      const BitVec ke = eve_acc.slice(0, cfg_.reconciler.key_bits);
-      alice_acc = alice_acc.slice(cfg_.reconciler.key_bits,
-                                  alice_acc.size() - cfg_.reconciler.key_bits);
-      bob_acc = bob_acc.slice(cfg_.reconciler.key_bits,
-                              bob_acc.size() - cfg_.reconciler.key_bits);
-      eve_acc = eve_acc.slice(cfg_.reconciler.key_bits,
-                              eve_acc.size() - cfg_.reconciler.key_bits);
-
-      blk.alice_raw = ka;
-      blk.kar_pre = ka.agreement(blk.bob_key);
-      {
-        trace::ScopedTimer t(reconcile_ms);
-        const auto y_bob = reconciler_->encode_bob(blk.bob_key);
-        blk.alice_corrected = reconciler_->reconcile(ka, y_bob);
-        blk.kar_post = blk.alice_corrected.agreement(blk.bob_key);
-        blk.success = blk.alice_corrected == blk.bob_key;
-        // Eve eavesdrops y_Bob and runs the public decoder with her key:
-        // one-shot (the paper's Fig. 15 attack) and iterative (stronger).
-        blk.eve_kar_post =
-            reconciler_->reconcile_one_shot(ke, y_bob).agreement(blk.bob_key);
-        blk.eve_kar_iterative =
-            reconciler_->reconcile(ke, y_bob).agreement(blk.bob_key);
-      }
-      bit_counter("blocks.total").add(1);
-      bit_counter("bits.reconciled").add(cfg_.reconciler.key_bits);
-      if (blk.success) {
-        bit_counter("blocks.success").add(1);
-        bit_counter("bits.agreed").add(cfg_.reconciler.key_bits);
-      }
-
-      kar_pre_list.push_back(blk.kar_pre);
-      kar_post_list.push_back(blk.kar_post);
-      eve_list.push_back(blk.eve_kar_post);
-      eve_iter_list.push_back(blk.eve_kar_iterative);
-      if (blk.success) ++success;
-      blocks_.push_back(std::move(blk));
-    }
+    kar_pre_list.push_back(blk.kar_pre);
+    kar_post_list.push_back(blk.kar_post);
+    eve_list.push_back(blk.eve_kar_post);
+    eve_iter_list.push_back(blk.eve_kar_iterative);
   }
-  VKEY_REQUIRE(!blocks_.empty(), "not enough test data for one key block");
+  eval_timer.stop();
 
   PipelineMetrics m;
   m.blocks = blocks_.size();
@@ -192,9 +231,13 @@ PipelineMetrics KeyGenPipeline::run(std::size_t train_rounds,
   const double net_bits_per_block =
       std::max(0.0, static_cast<double>(cfg_.reconciler.key_bits) -
                         static_cast<double>(cfg_.reconciler.code_dim));
-  m.kgr_bits_per_s = static_cast<double>(blocks_.size()) *
-                     net_bits_per_block * m.mean_kar_post /
-                     m.test_duration_s;
+  // Guard the division: a zero-duration trace (degenerate PHY/interval
+  // configuration) must not push inf/nan into the JSON exporters.
+  m.kgr_bits_per_s = m.test_duration_s > 0.0
+                         ? static_cast<double>(blocks_.size()) *
+                               net_bits_per_block * m.mean_kar_post /
+                               m.test_duration_s
+                         : 0.0;
   return m;
 }
 

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <utility>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "nn/activations.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
@@ -53,13 +55,46 @@ std::vector<nn::Parameter*> AutoencoderReconciler::parameters() {
   return p;
 }
 
-double AutoencoderReconciler::train_one(const BitVec& key_bob,
-                                        const BitVec& key_alice) {
+/// One sample's gradient, held apart from the shared parameters so a batch
+/// can fan out across worker lanes; sized lazily to the layers that are
+/// actually trainable under the current config.
+struct AutoencoderReconciler::GradSink {
+  nn::Vec f1_w, f1_b;
+  nn::Vec f2_w, f2_b;
+  std::vector<nn::Dense::Cache> decoder_caches;
+  std::vector<nn::Vec> dec_w, dec_b;
+
+  void reset(const AutoencoderReconciler& r) {
+    const bool train_encoder = !r.cfg_.freeze_encoder;
+    auto zero = [](nn::Vec& v, std::size_t n) { v.assign(n, 0.0); };
+    if (train_encoder) {
+      zero(f1_w, r.f1_.weights().value.size());
+      zero(f1_b, r.f1_.bias().value.size());
+      if (!r.cfg_.tie_encoders) {
+        zero(f2_w, r.f2_.weights().value.size());
+        zero(f2_b, r.f2_.bias().value.size());
+      }
+    }
+    decoder_caches.resize(r.decoder_.size());
+    dec_w.resize(r.decoder_.size());
+    dec_b.resize(r.decoder_.size());
+    for (std::size_t l = 0; l < r.decoder_.size(); ++l) {
+      zero(dec_w[l], r.decoder_[l].weights().value.size());
+      zero(dec_b[l], r.decoder_[l].bias().value.size());
+    }
+  }
+};
+
+double AutoencoderReconciler::train_one_into(const BitVec& key_bob,
+                                             const BitVec& key_alice,
+                                             GradSink& sink) const {
   const BitVec kb = bloom_.apply(key_bob);
   const BitVec ka = bloom_.apply(key_alice);
   const BitVec e = kb ^ ka;
+  const bool train_encoder = !cfg_.freeze_encoder;
 
   nn::Vec h(cfg_.code_dim);
+  nn::Dense::Cache f1_cache, f2_cache;
   if (cfg_.tie_encoders) {
     // Tied linear encoders: h = f(K'_B) - f(K'_A) = W (K'_B - K'_A); the
     // bias cancels, so training on the difference vector is exactly the
@@ -68,31 +103,36 @@ double AutoencoderReconciler::train_one(const BitVec& key_bob,
     const auto da = ka.to_doubles();
     nn::Vec diff(db.size());
     for (std::size_t i = 0; i < diff.size(); ++i) diff[i] = db[i] - da[i];
-    h = f1_.forward(diff);
+    h = f1_.forward(diff, f1_cache);
   } else {
-    const nn::Vec yb = f1_.forward(kb.to_doubles());
-    const nn::Vec ya = f2_.forward(ka.to_doubles());
+    const nn::Vec yb = f1_.forward(kb.to_doubles(), f1_cache);
+    const nn::Vec ya = f2_.forward(ka.to_doubles(), f2_cache);
     for (std::size_t i = 0; i < h.size(); ++i) h[i] = yb[i] - ya[i];
   }
 
   nn::Vec x = h;
-  for (auto& layer : decoder_) x = layer.forward(x);
+  for (std::size_t l = 0; l < decoder_.size(); ++l) {
+    x = decoder_[l].forward(x, sink.decoder_caches[l]);
+  }
 
   const auto bce = nn::bce_with_logits(x, e.to_doubles());
 
   // Backward through the decoder stack.
   nn::Vec g = bce.grad;
   for (std::size_t l = decoder_.size(); l-- > 0;) {
-    g = decoder_[l].backward(g);
+    g = decoder_[l].backward(sink.decoder_caches[l], g, sink.dec_w[l],
+                             sink.dec_b[l]);
   }
-  if (cfg_.tie_encoders) {
-    f1_.backward(g);
-  } else {
-    // h = yb - ya: gradient splits with opposite signs.
-    f1_.backward(g);
-    nn::Vec neg(g.size());
-    for (std::size_t i = 0; i < g.size(); ++i) neg[i] = -g[i];
-    f2_.backward(neg);
+  if (train_encoder) {
+    if (cfg_.tie_encoders) {
+      f1_.backward(f1_cache, g, sink.f1_w, sink.f1_b);
+    } else {
+      // h = yb - ya: gradient splits with opposite signs.
+      f1_.backward(f1_cache, g, sink.f1_w, sink.f1_b);
+      nn::Vec neg(g.size());
+      for (std::size_t i = 0; i < g.size(); ++i) neg[i] = -g[i];
+      f2_.backward(f2_cache, neg, sink.f2_w, sink.f2_b);
+    }
   }
   return bce.loss;
 }
@@ -103,41 +143,80 @@ double AutoencoderReconciler::train(std::size_t num_samples,
   nn::Adam opt(parameters(), cfg_.learning_rate);
 
   // Pre-generate the synthetic pair set so epochs revisit the same data.
-  std::vector<std::pair<BitVec, BitVec>> pairs;
-  pairs.reserve(num_samples);
-  for (std::size_t s = 0; s < num_samples; ++s) {
-    BitVec kb(cfg_.key_bits);
-    for (std::size_t i = 0; i < cfg_.key_bits; ++i) {
-      kb.set(i, rng_.bernoulli(0.5));
-    }
-    const double ber = rng_.uniform(cfg_.train_ber_lo, cfg_.train_ber_hi);
-    BitVec ka = kb;
-    for (std::size_t i = 0; i < cfg_.key_bits; ++i) {
-      if (rng_.bernoulli(ber)) ka.flip(i);
-    }
-    pairs.emplace_back(std::move(kb), std::move(ka));
-  }
+  // Each pair draws from its own hash-derived stream, making generation
+  // order-free: any lane can produce pair s and the result is identical.
+  const std::uint64_t pair_seed = hash_combine64(cfg_.seed, 0x70616972ULL);
+  auto pairs = parallel::parallel_map_n(
+      num_samples,
+      [&](std::size_t s) {
+        vkey::Rng rng(hash_combine64(pair_seed, s));
+        BitVec kb(cfg_.key_bits);
+        for (std::size_t i = 0; i < cfg_.key_bits; ++i) {
+          kb.set(i, rng.bernoulli(0.5));
+        }
+        const double ber = rng.uniform(cfg_.train_ber_lo, cfg_.train_ber_hi);
+        BitVec ka = kb;
+        for (std::size_t i = 0; i < cfg_.key_bits; ++i) {
+          if (rng.bernoulli(ber)) ka.flip(i);
+        }
+        return std::pair<BitVec, BitVec>(std::move(kb), std::move(ka));
+      },
+      cfg_.threads);
+
+  // Batched forward/backward: the samples of one mini-batch fan out, each
+  // writing its loss and gradient into a private per-slot sink; the fold
+  // into the shared parameter gradients below is strictly in sample order,
+  // so the non-associative double sums match the sequential reference.
+  const std::size_t batch = cfg_.batch_size;
+  std::vector<GradSink> sinks(std::min(batch, pairs.size()));
+  std::vector<double> losses(sinks.size());
 
   double last_epoch_loss = 0.0;
   for (std::size_t e = 0; e < epochs; ++e) {
-    // Shuffle.
+    // Shuffle (sequential by design: the epoch permutation is part of the
+    // deterministic training schedule, not per-index work).
     for (std::size_t i = pairs.size(); i > 1; --i) {
       std::swap(pairs[i - 1],
                 pairs[static_cast<std::size_t>(rng_.uniform_int(i))]);
     }
     double epoch_loss = 0.0;
-    std::size_t in_batch = 0;
-    for (const auto& [kb, ka] : pairs) {
-      epoch_loss += train_one(kb, ka);
-      if (++in_batch == cfg_.batch_size) {
-        opt.step(in_batch);
-        in_batch = 0;
+    for (std::size_t start = 0; start < pairs.size(); start += batch) {
+      const std::size_t bs = std::min(batch, pairs.size() - start);
+      parallel::parallel_for(
+          bs,
+          [&](std::size_t j) {
+            sinks[j].reset(*this);
+            losses[j] = train_one_into(pairs[start + j].first,
+                                       pairs[start + j].second, sinks[j]);
+          },
+          cfg_.threads);
+      for (std::size_t j = 0; j < bs; ++j) {
+        epoch_loss += losses[j];
+        fold_sink(sinks[j]);
       }
+      opt.step(bs);
     }
-    if (in_batch > 0) opt.step(in_batch);
     last_epoch_loss = epoch_loss / static_cast<double>(pairs.size());
   }
   return last_epoch_loss;
+}
+
+void AutoencoderReconciler::fold_sink(const GradSink& sink) {
+  auto add = [](nn::Vec& dst, const nn::Vec& src) {
+    for (std::size_t i = 0; i < src.size(); ++i) dst[i] += src[i];
+  };
+  if (!cfg_.freeze_encoder) {
+    add(f1_.weights_grad(), sink.f1_w);
+    add(f1_.bias_grad(), sink.f1_b);
+    if (!cfg_.tie_encoders) {
+      add(f2_.weights_grad(), sink.f2_w);
+      add(f2_.bias_grad(), sink.f2_b);
+    }
+  }
+  for (std::size_t l = 0; l < decoder_.size(); ++l) {
+    add(decoder_[l].weights_grad(), sink.dec_w[l]);
+    add(decoder_[l].bias_grad(), sink.dec_b[l]);
+  }
 }
 
 std::vector<double> AutoencoderReconciler::encode_bob(

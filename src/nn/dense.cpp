@@ -69,11 +69,18 @@ Vec Dense::forward(const Vec& x) {
   return last_y_;
 }
 
+Vec Dense::forward(const Vec& x, Cache& cache) const {
+  cache.x = x;
+  cache.y = activate(affine(x));
+  return cache.y;
+}
+
 Vec Dense::infer(const Vec& x) const { return activate(affine(x)); }
 
-Vec Dense::backward(const Vec& grad_out) {
+Vec Dense::backward_impl(const Vec& x, const Vec& y, const Vec& grad_out,
+                         Vec& grad_w, Vec& grad_b) const {
   VKEY_REQUIRE(grad_out.size() == out_, "Dense grad size mismatch");
-  VKEY_REQUIRE(last_x_.size() == in_, "Dense backward before forward");
+  VKEY_REQUIRE(x.size() == in_, "Dense backward before forward");
 
   // Fold the activation derivative into the output gradient.
   Vec dz = grad_out;
@@ -81,31 +88,41 @@ Vec Dense::backward(const Vec& grad_out) {
     case Activation::kNone:
       break;
     case Activation::kSigmoid:
-      for (std::size_t o = 0; o < out_; ++o)
-        dz[o] *= dsigmoid_from_y(last_y_[o]);
+      for (std::size_t o = 0; o < out_; ++o) dz[o] *= dsigmoid_from_y(y[o]);
       break;
     case Activation::kTanh:
-      for (std::size_t o = 0; o < out_; ++o)
-        dz[o] *= dtanh_from_y(last_y_[o]);
+      for (std::size_t o = 0; o < out_; ++o) dz[o] *= dtanh_from_y(y[o]);
       break;
     case Activation::kRelu:
       for (std::size_t o = 0; o < out_; ++o)
-        if (last_y_[o] <= 0.0) dz[o] = 0.0;
+        if (y[o] <= 0.0) dz[o] = 0.0;
       break;
   }
 
   Vec dx(in_, 0.0);
   for (std::size_t o = 0; o < out_; ++o) {
     const double g = dz[o];
-    b_.grad[o] += g;
-    double* gw = &w_.grad[o * in_];
+    grad_b[o] += g;
+    double* gw = &grad_w[o * in_];
     const double* wrow = &w_.value[o * in_];
     for (std::size_t i = 0; i < in_; ++i) {
-      gw[i] += g * last_x_[i];
+      gw[i] += g * x[i];
       dx[i] += g * wrow[i];
     }
   }
   return dx;
+}
+
+Vec Dense::backward(const Vec& grad_out) {
+  return backward_impl(last_x_, last_y_, grad_out, w_.grad, b_.grad);
+}
+
+Vec Dense::backward(const Cache& cache, const Vec& grad_out, Vec& grad_w,
+                    Vec& grad_b) const {
+  VKEY_REQUIRE(grad_w.size() == w_.value.size() &&
+                   grad_b.size() == b_.value.size(),
+               "Dense gradient buffer size mismatch");
+  return backward_impl(cache.x, cache.y, grad_out, grad_w, grad_b);
 }
 
 }  // namespace vkey::nn

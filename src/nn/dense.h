@@ -21,8 +21,21 @@ class Dense {
   Dense(std::size_t in, std::size_t out, vkey::Rng& rng,
         Activation act = Activation::kNone);
 
+  /// Externally owned forward activations for the batched-parallel
+  /// training path: many threads can run forward(x, cache) /
+  /// backward(cache, ...) concurrently against the same frozen weights,
+  /// each with a private Cache and gradient buffers.
+  struct Cache {
+    Vec x;  ///< layer input
+    Vec y;  ///< post-activation output
+  };
+
   /// Forward pass; caches input and (for nonlinear activations) output.
   Vec forward(const Vec& x);
+
+  /// Thread-safe forward writing the activations into `cache` instead of
+  /// the layer (same arithmetic as forward(x), bit for bit).
+  Vec forward(const Vec& x, Cache& cache) const;
 
   /// Forward without caching (inference-only; usable concurrently).
   Vec infer(const Vec& x) const;
@@ -31,16 +44,28 @@ class Dense {
   /// into the layer parameters and returns dL/dx.
   Vec backward(const Vec& grad_out);
 
+  /// Thread-safe backward for a forward(x, cache) pass: accumulates the
+  /// weight/bias gradients into caller-owned buffers (sized like the
+  /// parameters) and returns dL/dx. Shares the arithmetic of backward().
+  Vec backward(const Cache& cache, const Vec& grad_out, Vec& grad_w,
+               Vec& grad_b) const;
+
   std::size_t in_size() const { return in_; }
   std::size_t out_size() const { return out_; }
 
   std::vector<Parameter*> parameters() { return {&w_, &b_}; }
   const Parameter& weights() const { return w_; }
   const Parameter& bias() const { return b_; }
+  /// Mutable gradient accumulators, for folding externally computed
+  /// per-sample gradients (see backward(cache, ...)) into the layer.
+  Vec& weights_grad() { return w_.grad; }
+  Vec& bias_grad() { return b_.grad; }
 
  private:
   Vec affine(const Vec& x) const;
   Vec activate(const Vec& z) const;
+  Vec backward_impl(const Vec& x, const Vec& y, const Vec& grad_out,
+                    Vec& grad_w, Vec& grad_b) const;
 
   std::size_t in_ = 0;
   std::size_t out_ = 0;

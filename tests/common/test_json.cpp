@@ -106,6 +106,36 @@ TEST(Accessors, ThrowOnTypeMismatchAndMissingKeys) {
   EXPECT_NE(v.find("n"), nullptr);
 }
 
+// Non-finite doubles: format_number stays strict (tested above), but a
+// document must never serialize to text a JSON parser rejects — dump
+// normalizes NaN/Inf to null, and the result round-trips.
+TEST(Dump, NonFiniteNumbersSerializeAsNull) {
+  Value doc = Value::object();
+  doc.set("nan", Value(std::numeric_limits<double>::quiet_NaN()));
+  doc.set("pinf", Value(std::numeric_limits<double>::infinity()));
+  doc.set("ninf", Value(-std::numeric_limits<double>::infinity()));
+  doc.set("ok", Value(2.5));
+  const std::string text = doc.dump(0);
+  EXPECT_EQ(text, "{\"nan\":null,\"pinf\":null,\"ninf\":null,\"ok\":2.5}");
+
+  const Value back = Value::parse(text);
+  EXPECT_TRUE(back.at("nan").is_null());
+  EXPECT_TRUE(back.at("pinf").is_null());
+  EXPECT_TRUE(back.at("ninf").is_null());
+  EXPECT_EQ(back.at("ok").as_number(), 2.5);
+}
+
+TEST(Dump, NonFiniteInsideArraysAndNesting) {
+  Value arr = Value::array();
+  arr.push_back(Value(1.0));
+  arr.push_back(Value(std::numeric_limits<double>::quiet_NaN()));
+  Value doc = Value::object();
+  doc.set("xs", std::move(arr));
+  EXPECT_EQ(doc.dump(0), "{\"xs\":[1,null]}");
+  // Still valid JSON after the normalization.
+  EXPECT_NO_THROW(Value::parse(doc.dump(2)));
+}
+
 // The exporter contract: a table serialized by Table::to_json and re-read
 // from text renders exactly the markdown the live object renders. This is
 // what makes `bench_runner --regen-only` byte-identical on a second run.

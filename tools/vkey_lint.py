@@ -27,6 +27,16 @@ iostream-in-lib
     table / json layers, never by printing. Benches, examples and tests are
     driver code and may print.
 
+raw-thread
+    No `std::thread` / `std::jthread` construction in library (`src/`) code
+    outside `common/parallel`. Ad-hoc threads bypass the determinism
+    contract (per-index purity, ordered reduction — DESIGN.md "Parallel
+    execution & determinism contract") and the pool's queue-depth/task
+    accounting; fan work out through `parallel::parallel_for` instead.
+    Qualified statics like `std::thread::hardware_concurrency()` are fine.
+    Tests, benches, examples and tools drive the library from outside and
+    may spawn threads.
+
 pragma-once
     Every header's first preprocessor directive must be `#pragma once`.
 
@@ -58,6 +68,12 @@ ALLOWLIST = {
             "everything else routes through trace::NowFn / SimClock"
         ),
     },
+    "src/common/parallel.cpp": {
+        "raw-thread": (
+            "the deterministic pool is the single sanctioned owner of "
+            "worker threads; everything else borrows lanes via parallel_for"
+        ),
+    },
 }
 
 # Directories exempt from a rule wholesale.
@@ -65,6 +81,7 @@ RULE_EXEMPT_DIRS = {
     "wall-clock": ("bench", "examples", "tools"),
     "unseeded-random": ("bench", "examples", "tools"),
     "iostream-in-lib": ("bench", "examples", "tests", "tools"),
+    "raw-thread": ("bench", "examples", "tests", "tools"),
 }
 
 WALL_CLOCK_PATTERNS = [
@@ -85,6 +102,10 @@ RANDOM_PATTERNS = [
     re.compile(r"std\s*::\s*(?:mt19937|minstd_rand|default_random_engine)"),
     re.compile(r"#\s*include\s*<random>"),
 ]
+
+# `std::thread` / `std::jthread` as a type, but not qualified statics such
+# as `std::thread::hardware_concurrency()`.
+RAW_THREAD_PATTERN = re.compile(r"std\s*::\s*j?thread\b(?!\s*::)")
 
 IOSTREAM_PATTERN = re.compile(r"#\s*include\s*<iostream>")
 USING_NAMESPACE_PATTERN = re.compile(r"(?<![\w:])using\s+namespace\s+[\w:]+")
@@ -178,6 +199,11 @@ def scan_file(path, rel, explain):
                 check("unseeded-random", i, raw,
                       "randomness outside common/rng.h; seeded Rng only")
                 break
+        if RAW_THREAD_PATTERN.search(code):
+            check("raw-thread", i, raw,
+                  "raw std::thread in a library target; fan out through "
+                  "parallel::parallel_for (common/parallel) so the "
+                  "determinism contract holds")
         if IOSTREAM_PATTERN.search(code):
             check("iostream-in-lib", i, raw,
                   "<iostream> in a library target; report via metrics/"
