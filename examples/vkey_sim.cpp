@@ -33,6 +33,15 @@
 //   --metrics              dump the metrics registry (counters, gauges,
 //                          stage timers) after the run
 //   --metrics-json PATH    write the registry snapshot as JSON to PATH
+//   --trace-out PATH       enable span tracing and write the run's
+//                          virtual-clock span tree (reliability attempts +
+//                          flight-recorder events) as Chrome trace-event
+//                          JSON; loadable in chrome://tracing / Perfetto and
+//                          byte-identical across --threads values
+//   --threads N            worker lanes for the parallel pipeline stages
+//                          (N=1 is the bit-exact sequential reference)
+// When the reliable-link phase fails a block, the first failed session's
+// flight-recorder timeline is printed for post-mortem.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -42,7 +51,9 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/parallel.h"
 #include "common/table.h"
+#include "common/trace.h"
 #include "core/pipeline.h"
 #include "protocol/reliability.h"
 
@@ -59,7 +70,8 @@ namespace {
                "[--test-rounds N] [--hidden N] [--epochs N] "
                "[--decoder-units N] [--seed N] [--no-prediction] "
                "[--drop P] [--reorder P] [--dup P] [--corrupt P] "
-               "[--link-seed N] [--metrics] [--metrics-json PATH]\n",
+               "[--link-seed N] [--metrics] [--metrics-json PATH] "
+               "[--trace-out PATH] [--threads N]\n",
                argv0);
   std::exit(2);
 }
@@ -120,6 +132,7 @@ int main(int argc, char** argv) {
   bool run_link = false;
   bool dump_metrics = false;
   std::string metrics_json_path;
+  std::string trace_out_path;
   PipelineConfig cfg;
   cfg.predictor.hidden = 32;
   cfg.predictor_epochs = 40;
@@ -152,6 +165,12 @@ int main(int argc, char** argv) {
     else if (arg == "--link-seed") { fault.seed = next_u64(); run_link = true; }
     else if (arg == "--metrics") dump_metrics = true;
     else if (arg == "--metrics-json") metrics_json_path = next();
+    else if (arg == "--trace-out") { trace_out_path = next(); trace::TraceLog::global().set_enabled(true); }
+    else if (arg == "--threads") {
+      const std::uint64_t n = next_u64();
+      if (n == 0) usage(argv[0]);
+      parallel::set_default_threads(static_cast<std::size_t>(n));
+    }
     else usage(argv[0]);
   }
   if (speed <= 0.0 || train_rounds == 0 || test_rounds == 0) usage(argv[0]);
@@ -198,6 +217,7 @@ int main(int argc, char** argv) {
 
     std::size_t established = 0, attempts = 0, retransmissions = 0;
     std::size_t frames = 0;
+    bool dumped_failure = false;
     std::vector<double> times;
     std::vector<std::size_t> failures(6, 0);
     for (std::size_t i = 0; i < blocks.size(); ++i) {
@@ -225,6 +245,16 @@ int main(int argc, char** argv) {
         times.push_back(report.time_to_establish_ms);
       } else {
         ++failures[static_cast<std::size_t>(report.failure)];
+        // Post-mortem: print the first failed session's flight-recorder
+        // timeline so the injected fault is visible without re-running.
+        if (!dumped_failure) {
+          const std::string dump = report.failure_dump();
+          if (!dump.empty()) {
+            dumped_failure = true;
+            std::printf("\nblock %zu failed; last attempt's timeline:\n%s",
+                        i, dump.c_str());
+          }
+        }
       }
     }
     std::sort(times.begin(), times.end());
@@ -272,6 +302,17 @@ int main(int argc, char** argv) {
     }
     out << metrics::Registry::global().snapshot().dump(2);
     std::fprintf(stderr, "wrote %s\n", metrics_json_path.c_str());
+  }
+  if (!trace_out_path.empty()) {
+    // Virtual-clock spans only: SimClock time and the canonical
+    // (start, id) export order make the file byte-identical for any
+    // --threads value, so CI can diff it across lane counts.
+    if (trace::TraceLog::global().write_chrome_trace(trace_out_path,
+                                                     /*virtual_only=*/true)) {
+      std::fprintf(stderr, "wrote %s\n", trace_out_path.c_str());
+    } else {
+      return 1;
+    }
   }
   return 0;
 }

@@ -7,12 +7,14 @@
 
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 
 namespace vkey {
 
 namespace {
 
-constexpr const char* kUsage = "[--quick] [--json <path>] [--threads <n>]";
+constexpr const char* kUsage =
+    "[--quick] [--json <path>] [--threads <n>] [--trace-out <path>]";
 
 // Strict positive-integer parse: the whole token must be digits.
 bool parse_threads(const std::string& s, std::size_t& out) {
@@ -45,6 +47,15 @@ BenchReport::BenchReport(std::string name, int argc, char** argv)
         std::exit(2);
       }
       parallel::set_default_threads(n);
+    } else if (arg == "--trace-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --trace-out needs a path\n", argv[0]);
+        std::exit(2);
+      }
+      trace_path_ = argv[++i];
+      // Span capture costs an allocation per named timer, so it is opt-in:
+      // requesting an export turns the log on for this run.
+      trace::TraceLog::global().set_enabled(true);
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: %s %s\n", argv[0], kUsage);
       std::exit(0);
@@ -76,6 +87,14 @@ void BenchReport::add_note(const std::string& key, const std::string& text) {
 }
 
 bool BenchReport::write() {
+  if (!trace_path_.empty()) {
+    // All domains: bench spans are wall-clock and meant for profiling, not
+    // for byte-diffing (that is vkey_sim's virtual-only export).
+    if (trace::TraceLog::global().write_chrome_trace(trace_path_,
+                                                     /*virtual_only=*/false)) {
+      std::fprintf(stderr, "wrote %s\n", trace_path_.c_str());
+    }
+  }
   if (path_.empty()) return false;
   json::Value doc = json::Value::object();
   doc.set("bench", json::Value(name_));

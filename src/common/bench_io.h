@@ -4,7 +4,9 @@
 // whole suite (`--json <path>` — write a BENCH_<name>.json snapshot,
 // `--quick` — run a reduced-size variant for CI smoke runs, `--threads N` —
 // worker lanes for the parallel stages; N=1 is the sequential reference and
-// every N produces bit-identical results), collects the tables the bench
+// every N produces bit-identical results, `--trace-out <path>` — enable the
+// span TraceLog for the run and write a Chrome trace-event JSON loadable in
+// chrome://tracing / Perfetto), collects the tables the bench
 // prints plus any extra scalars/notes, and writes one JSON document per run:
 //
 //   {
@@ -52,14 +54,17 @@ class BenchReport {
   void add_note(const std::string& key, const std::string& text);
 
   /// Write the snapshot if --json was given (appends the current metrics
-  /// registry). Returns true when a file was written.
+  /// registry) and the Chrome trace if --trace-out was given. Returns true
+  /// when a snapshot file was written.
   bool write();
 
   const std::string& json_path() const { return path_; }
+  const std::string& trace_path() const { return trace_path_; }
 
  private:
   std::string name_;
   std::string path_;
+  std::string trace_path_;
   bool quick_ = false;
   json::Value tables_ = json::Value::array();
   json::Value scalars_ = json::Value::object();

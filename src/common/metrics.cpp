@@ -216,20 +216,40 @@ std::string Registry::to_json(int indent) const {
   return snapshot().dump(indent);
 }
 
+namespace {
+
+// RFC 4180: a field containing a comma, quote, or line break is wrapped in
+// double quotes with inner quotes doubled. Instrument names are free-form
+// strings, so an unescaped `lora.sf7,bw125` would silently shift every
+// column after it.
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\r\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
 std::string Registry::to_csv() const {
   const json::Value snap = snapshot();
   std::string out = "kind,name,field,value\n";
   for (const auto& [name, v] : snap.at("counters").as_object()) {
-    out += "counter," + name + ",value," + json::format_number(v.as_number()) +
-           "\n";
+    out += "counter," + csv_escape(name) + ",value," +
+           json::format_number(v.as_number()) + "\n";
   }
   for (const auto& [name, v] : snap.at("gauges").as_object()) {
-    out += "gauge," + name + ",value," + json::format_number(v.as_number()) +
-           "\n";
+    out += "gauge," + csv_escape(name) + ",value," +
+           json::format_number(v.as_number()) + "\n";
   }
   for (const auto& [name, h] : snap.at("histograms").as_object()) {
+    const std::string escaped = csv_escape(name);
     for (const char* field : {"count", "sum", "mean", "p50", "p99"}) {
-      out += "histogram," + name + "," + field + "," +
+      out += "histogram," + escaped + "," + field + "," +
              json::format_number(h.at(field).as_number()) + "\n";
     }
     const auto& bounds = h.at("bounds").as_array();
@@ -238,7 +258,7 @@ std::string Registry::to_csv() const {
       const std::string label =
           i < bounds.size() ? "le_" + json::format_number(bounds[i].as_number())
                             : std::string("le_inf");
-      out += "histogram," + name + "," + label + "," +
+      out += "histogram," + escaped + "," + label + "," +
              json::format_number(buckets[i].as_number()) + "\n";
     }
   }

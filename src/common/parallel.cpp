@@ -10,6 +10,7 @@
 
 #include "common/error.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace vkey::parallel {
 
@@ -203,14 +204,20 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
   st.grain = n / (lanes * 8) > 1 ? n / (lanes * 8) : 1;
   st.helpers_active = lanes - 1;
 
+  // Lane annotation: spans opened inside fn on a borrowed worker carry the
+  // helper's lane id and still parent under the span that was open on the
+  // caller when the fan-out started (the submitting stage).
+  const std::uint64_t ambient_parent = trace::current_parent();
   for (std::size_t h = 0; h + 1 < lanes; ++h) {
-    pool.submit([&st] {
+    pool.submit([&st, h, ambient_parent] {
+      trace::LaneScope lane(static_cast<std::uint32_t>(h + 1),
+                            ambient_parent);
       st.run_chunks();
       std::lock_guard<std::mutex> lock(st.mu);
       if (--st.helpers_active == 0) st.done_cv.notify_all();
     });
   }
-  st.run_chunks();  // the caller is a lane too
+  st.run_chunks();  // the caller is a lane too (lane 0, ambient context)
 
   std::unique_lock<std::mutex> lock(st.mu);
   st.done_cv.wait(lock, [&] { return st.helpers_active == 0; });

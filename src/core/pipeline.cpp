@@ -50,6 +50,7 @@ AutoencoderReconciler& KeyGenPipeline::reconciler() {
 PipelineMetrics KeyGenPipeline::run(std::size_t train_rounds,
                                     std::size_t test_rounds) {
   VKEY_REQUIRE(test_rounds >= 1, "need test rounds");
+  static metrics::Histogram& run_ms = stage_hist("run");
   static metrics::Histogram& probe_ms = stage_hist("probe");
   static metrics::Histogram& extract_ms = stage_hist("extract");
   static metrics::Histogram& train_pred_ms = stage_hist("train_predictor");
@@ -62,6 +63,14 @@ PipelineMetrics KeyGenPipeline::run(std::size_t train_rounds,
   bit_counter("runs").add(1);
 
   channel::TraceGenerator gen(cfg_.trace);
+
+  // Root of the run's span tree: every stage timer below (and, through the
+  // pool's lane annotation, every span opened inside parallel fan-out)
+  // parents under it.
+  trace::ScopedTimer run_timer(run_ms, "pipeline.run");
+  run_timer.attr("train_rounds", train_rounds)
+      .attr("test_rounds", test_rounds)
+      .attr("threads", cfg_.threads);
 
   // --- data collection ---
   trace::ScopedTimer probe_timer(probe_ms, "pipeline.probe");
@@ -172,7 +181,8 @@ PipelineMetrics KeyGenPipeline::run(std::size_t train_rounds,
         blk.alice_raw = ka;
         blk.kar_pre = ka.agreement(blk.bob_key);
         {
-          trace::ScopedTimer t(reconcile_ms);
+          trace::ScopedTimer t(reconcile_ms, "pipeline.reconcile_block");
+          t.attr("block", b);
           const auto y_bob = reconciler_->encode_bob(blk.bob_key);
           blk.alice_corrected = reconciler_->reconcile(ka, y_bob);
           blk.kar_post = blk.alice_corrected.agreement(blk.bob_key);

@@ -1,0 +1,111 @@
+// Per-session flight recorder: a bounded ring of protocol events stamped
+// with SimClock virtual time.
+//
+// The metrics layer (PR 2) answers aggregate questions — how many frames
+// were dropped across a bench run — but cannot explain why ONE session
+// failed: which injected fault hit which frame, what the ARQ did about it,
+// and how the state machines reacted. The flight recorder is that causal
+// timeline. The reliability supervisor creates one per attempt and hands it
+// to the link, both transports and both sessions; every layer appends its
+// events (frame tx/rx, drop/reorder/dup/corrupt injections, retransmits and
+// backoff arming, InboundGuard rejections, session state transitions), and
+// the recorder travels with the AttemptReport so a failed — or fuzzed —
+// session can dump its full history next to its FailureReason.
+//
+// Determinism: events are stamped from the attempt's SimClock (virtual ms)
+// and carry a per-recorder insertion ordinal `seq`, so dump() and to_json()
+// are byte-identical for identical seeds and independent of host timing or
+// worker-lane count. Without a clock (harness/fuzz use) the ordinal itself
+// is the timestamp, which keeps ordering visible and deterministic. The
+// ring is single-writer by design — the protocol stack runs inside one
+// SimClock event loop — so there is no lock.
+//
+// When the global TraceLog is enabled each event is mirrored as a
+// virtual-domain instant span ("flight.<kind>"), so `vkey_sim --trace-out`
+// interleaves link-level events with the reliability spans in Perfetto.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/trace.h"
+
+namespace vkey::protocol {
+
+enum class FlightEventKind : std::uint8_t {
+  kAttemptStart,  ///< supervisor opened a session attempt
+  kAttemptEnd,    ///< attempt terminated (detail: outcome / failure reason)
+  kFrameTx,       ///< frame handed to the link by an endpoint
+  kFrameRx,       ///< frame delivered to the far endpoint
+  kDrop,          ///< fault injector lost the frame
+  kCorrupt,       ///< fault injector flipped bits (frame still parsed)
+  kCrcLost,       ///< corruption beyond parsing; radio CRC discarded it
+  kReorder,       ///< fault injector added reordering delay
+  kDuplicate,     ///< fault injector scheduled an echo copy
+  kRetransmit,    ///< ARQ resent a frame (detail: "timeout ..." or "fast")
+  kBackoff,       ///< ARQ armed a retransmission timer (detail: delay)
+  kAckTx,         ///< transport acknowledged an accepted frame
+  kAckRx,         ///< transport consumed an ack for an in-flight frame
+  kStaleAck,      ///< ack for a frame not (or no longer) in flight
+  kGaveUp,        ///< retry budget exhausted; the attempt is dead
+  kReject,        ///< session rejected a frame (detail: RejectReason)
+  kStateChange,   ///< session state transition (detail: "from->to")
+  kInjected,      ///< harness-injected fault (fuzz tests name theirs here)
+};
+
+std::string to_string(FlightEventKind k);
+
+struct FlightEvent {
+  double t_ms = 0.0;       ///< virtual time; the ordinal when no clock is set
+  std::uint64_t seq = 0;   ///< per-recorder insertion ordinal (0-based)
+  FlightEventKind kind = FlightEventKind::kAttemptStart;
+  std::string actor;       ///< "alice" | "bob" | "link" | "supervisor" | ...
+  std::string detail;      ///< kind-specific context, may be empty
+  std::uint64_t session_id = 0;
+  std::uint64_t nonce = 0;
+};
+
+/// Bounded single-writer event ring (oldest events drop first).
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 512, trace::NowFn now = {});
+
+  /// Swap the time source (e.g. when a recorder outlives its SimClock an
+  /// owner clears it). Events already recorded keep their stamps.
+  void set_now(trace::NowFn now) { now_ = std::move(now); }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return count_; }
+  std::size_t dropped() const noexcept { return dropped_; }
+  std::uint64_t total() const noexcept { return next_seq_; }
+
+  void record(FlightEventKind kind, std::string actor, std::string detail = {},
+              std::uint64_t session_id = 0, std::uint64_t nonce = 0);
+
+  /// Events oldest -> newest.
+  std::vector<FlightEvent> events() const;
+
+  void clear();
+
+  /// Deterministic human-readable timeline, one event per line:
+  ///   [  123.456 ms] #17 retransmit alice timeout attempt=1 nonce=3
+  /// Byte-identical for identical event sequences (virtual stamps only).
+  std::string dump() const;
+
+  /// {"events": [{t_ms, seq, kind, actor, detail, session, nonce}...],
+  ///  "dropped": n, "total": n}
+  json::Value to_json() const;
+
+ private:
+  trace::NowFn now_;
+  std::size_t capacity_;
+  std::vector<FlightEvent> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::size_t dropped_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace vkey::protocol

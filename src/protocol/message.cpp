@@ -24,6 +24,19 @@ std::optional<std::uint64_t> get_u64(std::span<const std::uint8_t> bytes,
 
 }  // namespace
 
+std::string to_string(MessageType t) {
+  switch (t) {
+    case MessageType::kKeyGenRequest: return "key-gen-request";
+    case MessageType::kKeyGenAccept: return "key-gen-accept";
+    case MessageType::kSyndrome: return "syndrome";
+    case MessageType::kKeyConfirm: return "key-confirm";
+    case MessageType::kKeyConfirmAck: return "key-confirm-ack";
+    case MessageType::kData: return "data";
+    case MessageType::kAck: return "ack";
+  }
+  return "?";
+}
+
 std::vector<std::uint8_t> mac_input(const Message& msg) {
   std::vector<std::uint8_t> out;
   out.push_back(static_cast<std::uint8_t>(msg.type));

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace vkey::protocol {
@@ -25,6 +26,10 @@ enum class MessageType : std::uint8_t {
   kAck = 7,             ///< transport-level delivery acknowledgement (ARQ);
                         ///< nonce = the nonce of the frame being acked
 };
+
+/// Short wire name ("key-gen-request", "ack", ...) for logs and the
+/// flight recorder.
+std::string to_string(MessageType t);
 
 struct Message {
   MessageType type = MessageType::kKeyGenRequest;

@@ -52,6 +52,14 @@ FailureReason classify_failure(const AliceSession& alice,
 
 }  // namespace
 
+std::string AgreementReport::failure_dump() const {
+  if (established || attempt_log.empty()) return {};
+  const AttemptReport& last = attempt_log.back();
+  if (last.flight.size() == 0) return {};
+  return "attempt " + std::to_string(attempt_log.size()) + " failed (" +
+         to_string(last.failure) + ")\n" + last.flight.dump();
+}
+
 std::string to_string(FailureReason r) {
   switch (r) {
     case FailureReason::kNone: return "none";
@@ -101,6 +109,16 @@ AgreementReport run_reliable_key_agreement(
     faults.seed = hash_combine64(config.fault.seed, attempt);
     UnreliableChannel link(clock, base, faults, config.radio);
 
+    // Per-attempt flight recorder stamped with this attempt's virtual
+    // clock; every layer below appends its events to the same timeline.
+    FlightRecorder flight(config.flight_capacity,
+                          [&clock] { return clock.now_ms(); });
+    flight.record(FlightEventKind::kAttemptStart, "supervisor",
+                  "attempt=" + std::to_string(attempt + 1), scfg.session_id);
+    link.set_recorder(&flight);
+    alice.set_recorder(&flight, "alice");
+    bob.set_recorder(&flight, "bob");
+
     // RTT estimate: frame airtime + ack airtime + both processing delays.
     Message ack_probe;
     ack_probe.type = MessageType::kAck;
@@ -126,6 +144,8 @@ AgreementReport run_reliable_key_agreement(
           link.send(UnreliableChannel::Endpoint::kBob, m);
         },
         rtt);
+    alice_tx.set_recorder(&flight, "alice");
+    bob_tx.set_recorder(&flight, "bob");
 
     const auto accepts = [](const RejectReason r) {
       return r == RejectReason::kNone || r == RejectReason::kDuplicate;
@@ -199,6 +219,13 @@ AgreementReport run_reliable_key_agreement(
                                          alice_tx.exhausted() ||
                                              bob_tx.exhausted(),
                                          timed_out);
+    flight.record(FlightEventKind::kAttemptEnd, "supervisor",
+                  att.established ? "established" : to_string(att.failure),
+                  scfg.session_id);
+    // The recorder travels with the report; its NowFn points at this
+    // attempt's clock, so detach it before the clock goes out of scope.
+    flight.set_now({});
+    att.flight = std::move(flight);
 
     report.time_to_establish_ms += att.duration_ms;
     report.wire_frames += link.stats().sent;

@@ -19,6 +19,7 @@
 
 #include "common/bitvec.h"
 #include "core/reconciler.h"
+#include "protocol/flight_recorder.h"
 #include "protocol/reliable_transport.h"
 #include "protocol/session.h"
 #include "protocol/unreliable_channel.h"
@@ -46,6 +47,10 @@ struct ReliabilityConfig {
   double attempt_timeout_ms = 1.8e6;  ///< 30 virtual minutes
   std::size_t final_key_bits = 128;
   std::uint64_t base_session_id = 1;  ///< attempt k uses base + k
+  /// Flight-recorder ring size per attempt (0 disables recording). Every
+  /// attempt gets its own recorder, wired through the link, both transports
+  /// and both sessions, stamped with the attempt's SimClock.
+  std::size_t flight_capacity = 512;
 };
 
 /// Counters and outcome of one negotiation attempt.
@@ -65,6 +70,9 @@ struct AttemptReport {
   std::size_t alice_rejects = 0;
   std::size_t bob_rejects = 0;
   LinkStats link;
+  /// The attempt's full event timeline (empty ring when recording was
+  /// disabled via ReliabilityConfig::flight_capacity = 0).
+  FlightRecorder flight;
 };
 
 struct AgreementReport {
@@ -80,6 +88,11 @@ struct AgreementReport {
   LinkStats link;  ///< aggregated over attempts
   std::vector<AttemptReport> attempt_log;
   BitVec key;  ///< the established 128-bit key; empty on failure
+
+  /// Post-mortem timeline of the failing attempt: the flight-recorder dump
+  /// of the last attempt, prefixed with its FailureReason. Empty when the
+  /// agreement established or nothing was recorded.
+  std::string failure_dump() const;
 
   explicit operator bool() const { return established; }
 };

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/json.h"
 #include "common/metrics.h"
+#include "protocol/flight_recorder.h"
 
 namespace vkey::protocol {
 
@@ -50,11 +52,23 @@ void ReliableTransport::set_upcall(UpcallFn upcall, AckGateFn ack_gate) {
   ack_gate_ = std::move(ack_gate);
 }
 
+void ReliableTransport::set_recorder(FlightRecorder* recorder,
+                                     std::string actor) {
+  recorder_ = recorder;
+  actor_ = std::move(actor);
+}
+
 void ReliableTransport::arm_timer(std::uint64_t nonce) {
   auto& entry = inflight_.at(nonce);
   const double backoff = arq_backoff_delay_ms(cfg_, entry.attempt, rng_);
   arq_backoff_hist().observe(backoff);
   const double timeout = rtt_(entry.msg) + backoff;
+  if (recorder_ != nullptr) {
+    recorder_->record(FlightEventKind::kBackoff, actor_,
+                      "attempt=" + std::to_string(entry.attempt) +
+                          " delay_ms=" + json::format_number(timeout),
+                      entry.msg.session_id, nonce);
+  }
   entry.timer = clock_.schedule(timeout, [this, nonce] { on_timeout(nonce); });
 }
 
@@ -64,6 +78,12 @@ void ReliableTransport::on_timeout(std::uint64_t nonce) {
   if (it->second.attempt >= cfg_.max_retries) {
     ++stats_.gave_up;
     arq_counter("gave_up").add(1);
+    if (recorder_ != nullptr) {
+      recorder_->record(FlightEventKind::kGaveUp, actor_,
+                        to_string(it->second.msg.type) + " after " +
+                            std::to_string(cfg_.max_retries) + " retries",
+                        it->second.msg.session_id, nonce);
+    }
     exhausted_ = true;
     inflight_.erase(it);
     return;
@@ -72,6 +92,11 @@ void ReliableTransport::on_timeout(std::uint64_t nonce) {
   ++stats_.retransmissions;
   arq_counter("timeouts").add(1);
   arq_counter("retransmissions").add(1);
+  if (recorder_ != nullptr) {
+    recorder_->record(FlightEventKind::kRetransmit, actor_,
+                      "timeout attempt=" + std::to_string(it->second.attempt),
+                      it->second.msg.session_id, nonce);
+  }
   wire_(it->second.msg);
   arm_timer(nonce);
 }
@@ -86,6 +111,10 @@ void ReliableTransport::send(const Message& msg) {
     // peer asked again, so don't wait for the timer.
     ++stats_.retransmissions;
     arq_counter("retransmissions").add(1);
+    if (recorder_ != nullptr) {
+      recorder_->record(FlightEventKind::kRetransmit, actor_, "fast",
+                        it->second.msg.session_id, msg.nonce);
+    }
     wire_(it->second.msg);
     return;
   }
@@ -101,6 +130,10 @@ void ReliableTransport::on_wire(const Message& msg) {
     const auto it = inflight_.find(msg.nonce);
     if (it == inflight_.end()) {
       ++stats_.stale_acks;
+      if (recorder_ != nullptr) {
+        recorder_->record(FlightEventKind::kStaleAck, actor_, {},
+                          msg.session_id, msg.nonce);
+      }
       return;
     }
     clock_.cancel(it->second.timer);
@@ -108,6 +141,10 @@ void ReliableTransport::on_wire(const Message& msg) {
     inflight_.erase(it);
     ++stats_.acks_received;
     arq_counter("acks_received").add(1);
+    if (recorder_ != nullptr) {
+      recorder_->record(FlightEventKind::kAckRx, actor_, {}, msg.session_id,
+                        msg.nonce);
+    }
     return;
   }
 
@@ -121,6 +158,11 @@ void ReliableTransport::on_wire(const Message& msg) {
     wire_(ack);
     ++stats_.acks_sent;
     arq_counter("acks_sent").add(1);
+    if (recorder_ != nullptr) {
+      recorder_->record(FlightEventKind::kAckTx, actor_,
+                        "for " + to_string(msg.type), msg.session_id,
+                        msg.nonce);
+    }
   }
   if (response.has_value()) send(*response);
 }

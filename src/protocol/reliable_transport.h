@@ -26,12 +26,15 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <string>
 
 #include "common/rng.h"
 #include "protocol/message.h"
 #include "protocol/sim_clock.h"
 
 namespace vkey::protocol {
+
+class FlightRecorder;
 
 struct ArqConfig {
   double base_backoff_ms = 100.0;  ///< backoff floor (attempt 0 delay)
@@ -75,6 +78,11 @@ class ReliableTransport {
 
   void set_upcall(UpcallFn upcall, AckGateFn ack_gate);
 
+  /// Attach a flight recorder; `actor` names this endpoint in the timeline
+  /// ("alice"/"bob"). Retransmissions, backoff arming, ack traffic and
+  /// exhaustion are logged. Pass nullptr to detach.
+  void set_recorder(FlightRecorder* recorder, std::string actor);
+
   /// Reliable send: transmit now and retransmit on timeout until acked or
   /// the retry budget is exhausted. Re-sending a frame already in flight
   /// (a session re-eliciting its cached response) triggers an immediate
@@ -111,6 +119,8 @@ class ReliableTransport {
   std::set<std::uint64_t> completed_;          // acked frame nonces
   TransportStats stats_;
   bool exhausted_ = false;
+  FlightRecorder* recorder_ = nullptr;
+  std::string actor_;
 };
 
 }  // namespace vkey::protocol

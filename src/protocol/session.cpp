@@ -3,6 +3,7 @@
 #include "common/error.h"
 #include "common/metrics.h"
 #include "crypto/aes128.h"
+#include "protocol/flight_recorder.h"
 #include "crypto/hkdf.h"
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
@@ -32,6 +33,25 @@ std::vector<std::uint8_t> confirm_digest(const BitVec& final_key,
   h.update(reinterpret_cast<const std::uint8_t*>(role), 1);
   const auto d = h.finalize();
   return {d.begin(), d.end()};
+}
+
+// Shared flight-recorder bookkeeping for both session roles: one kReject
+// per rejected frame (reason + offending message type) and one
+// kStateChange per transition, e.g. "await-syndrome->failed".
+void note_outcome(FlightRecorder* recorder, const std::string& actor,
+                  SessionState before, SessionState after, RejectReason reject,
+                  const Message& msg) {
+  if (recorder == nullptr) return;
+  if (reject != RejectReason::kNone) {
+    recorder->record(FlightEventKind::kReject, actor,
+                     to_string(reject) + " on " + to_string(msg.type),
+                     msg.session_id, msg.nonce);
+  }
+  if (after != before) {
+    recorder->record(FlightEventKind::kStateChange, actor,
+                     to_string(before) + "->" + to_string(after),
+                     msg.session_id, msg.nonce);
+  }
 }
 
 }  // namespace
@@ -108,10 +128,12 @@ BitVec BobSession::final_key() const {
 }
 
 std::optional<Message> BobSession::handle(const Message& msg) {
+  const SessionState before = state_;
   last_reject_ = RejectReason::kNone;
   if (msg.session_id != cfg_.session_id) {
     last_reject_ = RejectReason::kBadSession;
     guard_.count_reject();
+    note_outcome(recorder_, actor_, before, state_, last_reject_, msg);
     return std::nullopt;
   }
   switch (guard_.classify(msg)) {
@@ -120,10 +142,12 @@ std::optional<Message> BobSession::handle(const Message& msg) {
       // the original one instead of tripping the replay defense.
       last_reject_ = RejectReason::kDuplicate;
       guard_.count_duplicate();
+      note_outcome(recorder_, actor_, before, state_, last_reject_, msg);
       return guard_.response_for(msg.nonce);
     case InboundGuard::Verdict::kReplay:
       last_reject_ = RejectReason::kReplayedNonce;
       guard_.count_reject();
+      note_outcome(recorder_, actor_, before, state_, last_reject_, msg);
       return std::nullopt;
     case InboundGuard::Verdict::kFresh:
       break;
@@ -135,7 +159,13 @@ std::optional<Message> BobSession::handle(const Message& msg) {
   } else {
     guard_.count_reject();
   }
+  note_outcome(recorder_, actor_, before, state_, last_reject_, msg);
   return response;
+}
+
+void BobSession::set_recorder(FlightRecorder* recorder, std::string actor) {
+  recorder_ = recorder;
+  actor_ = std::move(actor);
 }
 
 std::optional<Message> BobSession::dispatch(const Message& msg) {
@@ -213,7 +243,14 @@ Message AliceSession::start() {
   req.session_id = cfg_.session_id;
   req.nonce = next_nonce_++;
   state_ = SessionState::kAwaitAccept;
+  note_outcome(recorder_, actor_, SessionState::kIdle, state_,
+               RejectReason::kNone, req);
   return req;
+}
+
+void AliceSession::set_recorder(FlightRecorder* recorder, std::string actor) {
+  recorder_ = recorder;
+  actor_ = std::move(actor);
 }
 
 BitVec AliceSession::final_key() const {
@@ -223,20 +260,24 @@ BitVec AliceSession::final_key() const {
 }
 
 std::optional<Message> AliceSession::handle(const Message& msg) {
+  const SessionState before = state_;
   last_reject_ = RejectReason::kNone;
   if (msg.session_id != cfg_.session_id) {
     last_reject_ = RejectReason::kBadSession;
     guard_.count_reject();
+    note_outcome(recorder_, actor_, before, state_, last_reject_, msg);
     return std::nullopt;
   }
   switch (guard_.classify(msg)) {
     case InboundGuard::Verdict::kDuplicate:
       last_reject_ = RejectReason::kDuplicate;
       guard_.count_duplicate();
+      note_outcome(recorder_, actor_, before, state_, last_reject_, msg);
       return guard_.response_for(msg.nonce);
     case InboundGuard::Verdict::kReplay:
       last_reject_ = RejectReason::kReplayedNonce;
       guard_.count_reject();
+      note_outcome(recorder_, actor_, before, state_, last_reject_, msg);
       return std::nullopt;
     case InboundGuard::Verdict::kFresh:
       break;
@@ -248,6 +289,7 @@ std::optional<Message> AliceSession::handle(const Message& msg) {
   } else {
     guard_.count_reject();
   }
+  note_outcome(recorder_, actor_, before, state_, last_reject_, msg);
   return response;
 }
 

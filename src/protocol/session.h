@@ -28,6 +28,8 @@
 
 namespace vkey::protocol {
 
+class FlightRecorder;
+
 enum class SessionState : std::uint8_t {
   kIdle,
   kAwaitAccept,
@@ -110,6 +112,10 @@ class BobSession {
   /// Feed an inbound message; returns the response to transmit, if any.
   std::optional<Message> handle(const Message& msg);
 
+  /// Attach a flight recorder; state transitions and InboundGuard
+  /// rejections are logged under `actor`. Pass nullptr to detach.
+  void set_recorder(FlightRecorder* recorder, std::string actor);
+
   /// Build the syndrome message { y_Bob, MAC(K_Bob, header||y_Bob) }.
   /// Valid once the session has been accepted (state kAwaitConfirm).
   Message make_syndrome();
@@ -138,6 +144,8 @@ class BobSession {
   RejectReason last_reject_ = RejectReason::kNone;
   std::uint64_t next_nonce_ = 0;
   InboundGuard guard_;
+  FlightRecorder* recorder_ = nullptr;
+  std::string actor_;
 };
 
 class AliceSession {
@@ -149,6 +157,10 @@ class AliceSession {
   Message start();
 
   std::optional<Message> handle(const Message& msg);
+
+  /// Attach a flight recorder; state transitions and InboundGuard
+  /// rejections are logged under `actor`. Pass nullptr to detach.
+  void set_recorder(FlightRecorder* recorder, std::string actor);
 
   SessionState state() const { return state_; }
   RejectReason last_reject() const { return last_reject_; }
@@ -173,6 +185,8 @@ class AliceSession {
   RejectReason last_reject_ = RejectReason::kNone;
   std::uint64_t next_nonce_ = 0;
   InboundGuard guard_;
+  FlightRecorder* recorder_ = nullptr;
+  std::string actor_;
 };
 
 /// Structured outcome of driving a key agreement to termination.

@@ -1,7 +1,9 @@
 #include "protocol/unreliable_channel.h"
 
 #include "common/error.h"
+#include "common/json.h"
 #include "common/metrics.h"
+#include "protocol/flight_recorder.h"
 #include "protocol/message.h"
 
 namespace vkey::protocol {
@@ -13,6 +15,10 @@ metrics::Counter& link_counter(const char* name) {
   // function-local static at the call sites via this helper being cheap —
   // the registry scan is a few entries.
   return metrics::Registry::global().counter(std::string("link.") + name);
+}
+
+const char* endpoint_name(UnreliableChannel::Endpoint e) {
+  return e == UnreliableChannel::Endpoint::kAlice ? "alice" : "bob";
 }
 
 }  // namespace
@@ -53,6 +59,10 @@ void UnreliableChannel::deliver(Endpoint to, const Message& msg,
   VKEY_REQUIRE(static_cast<bool>(handler), "endpoint handler not installed");
   clock_.schedule(delay_ms, [this, to, msg] {
     ++stats_.delivered;
+    if (recorder_ != nullptr) {
+      recorder_->record(FlightEventKind::kFrameRx, endpoint_name(to),
+                        to_string(msg.type), msg.session_id, msg.nonce);
+    }
     handlers_[static_cast<int>(to)](msg);
   });
 }
@@ -60,6 +70,10 @@ void UnreliableChannel::deliver(Endpoint to, const Message& msg,
 void UnreliableChannel::send(Endpoint from, const Message& msg) {
   ++stats_.sent;
   link_counter("sent").add(1);
+  if (recorder_ != nullptr) {
+    recorder_->record(FlightEventKind::kFrameTx, endpoint_name(from),
+                      to_string(msg.type), msg.session_id, msg.nonce);
+  }
   if (metrics::enabled()) {
     // Airtime is spent by the transmitter whether or not the frame
     // survives the channel.
@@ -79,6 +93,10 @@ void UnreliableChannel::send(Endpoint from, const Message& msg) {
   if (rng_.bernoulli(faults_.drop_prob)) {
     ++stats_.dropped;
     link_counter("dropped").add(1);
+    if (recorder_ != nullptr) {
+      recorder_->record(FlightEventKind::kDrop, "link", to_string(msg.type),
+                        msg.session_id, msg.nonce);
+    }
     return;
   }
 
@@ -95,7 +113,19 @@ void UnreliableChannel::send(Endpoint from, const Message& msg) {
     if (!reparsed.has_value()) {
       ++stats_.crc_lost;  // the radio CRC would have rejected this frame
       link_counter("crc_lost").add(1);
+      if (recorder_ != nullptr) {
+        recorder_->record(FlightEventKind::kCrcLost, "link",
+                          to_string(msg.type) + " flips=" +
+                              std::to_string(flips),
+                          msg.session_id, msg.nonce);
+      }
       return;
+    }
+    if (recorder_ != nullptr) {
+      recorder_->record(FlightEventKind::kCorrupt, "link",
+                        to_string(msg.type) + " flips=" +
+                            std::to_string(flips),
+                        msg.session_id, msg.nonce);
     }
     in_flight = std::move(reparsed);
   }
@@ -104,13 +134,24 @@ void UnreliableChannel::send(Endpoint from, const Message& msg) {
   if (rng_.bernoulli(faults_.reorder_prob)) {
     ++stats_.reordered;
     link_counter("reordered").add(1);
-    delay += rng_.uniform(0.0, faults_.reorder_window_ms);
+    const double extra = rng_.uniform(0.0, faults_.reorder_window_ms);
+    delay += extra;
+    if (recorder_ != nullptr) {
+      recorder_->record(FlightEventKind::kReorder, "link",
+                        to_string(msg.type) + " extra_ms=" +
+                            json::format_number(extra),
+                        msg.session_id, msg.nonce);
+    }
   }
   deliver(to, *in_flight, delay);
 
   if (rng_.bernoulli(faults_.dup_prob)) {
     ++stats_.duplicated;
     link_counter("duplicated").add(1);
+    if (recorder_ != nullptr) {
+      recorder_->record(FlightEventKind::kDuplicate, "link",
+                        to_string(msg.type), msg.session_id, msg.nonce);
+    }
     deliver(to, *in_flight, delay + faults_.dup_delay_ms);
   }
 }

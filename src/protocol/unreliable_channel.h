@@ -31,6 +31,8 @@
 
 namespace vkey::protocol {
 
+class FlightRecorder;
+
 /// Seeded fault model parameters (probabilities in [0, 1]).
 struct FaultConfig {
   double drop_prob = 0.0;
@@ -67,6 +69,11 @@ class UnreliableChannel {
 
   void set_handler(Endpoint endpoint, Handler handler);
 
+  /// Attach a flight recorder: every tx/rx and every injected fault is
+  /// logged with the frame's type and nonce. Pass nullptr to detach. The
+  /// recorder must outlive the channel (the supervisor owns both).
+  void set_recorder(FlightRecorder* recorder) { recorder_ = recorder; }
+
   void send(Endpoint from, const Message& msg);
 
   /// Time-on-air [ms] of `msg` serialized onto the configured radio.
@@ -88,6 +95,7 @@ class UnreliableChannel {
   vkey::Rng rng_;
   Handler handlers_[2];
   LinkStats stats_;
+  FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace vkey::protocol

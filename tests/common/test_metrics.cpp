@@ -1,6 +1,7 @@
 // Metrics registry: bucketing, concurrency, scoped timers, exporters.
 #include <atomic>
 #include <cmath>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -145,6 +146,55 @@ TEST(Registry, SnapshotIsSortedAndCompleteAndCsvMatches) {
   EXPECT_NE(csv.find("counter,a.first,value,2"), std::string::npos);
   EXPECT_NE(csv.find("gauge,mid.gauge,value,3.5"), std::string::npos);
   EXPECT_NE(csv.find("histogram,lat.ms,count,1"), std::string::npos);
+}
+
+TEST(Registry, CsvCarriesQuantileRowsPerHistogram) {
+  Registry reg;
+  Histogram& h = reg.histogram("stage.ms", {10.0, 20.0, 30.0});
+  for (int i = 0; i < 50; ++i) h.observe(15.0);
+  for (int i = 0; i < 50; ++i) h.observe(25.0);
+  const std::string csv = reg.to_csv();
+  EXPECT_NE(csv.find("histogram,stage.ms,p50,"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,stage.ms,p99,"), std::string::npos);
+  // The row values must be the histogram's own interpolated quantiles.
+  EXPECT_NE(csv.find("histogram,stage.ms,p50," +
+                     json::format_number(h.quantile(0.5))),
+            std::string::npos);
+  EXPECT_NE(csv.find("histogram,stage.ms,p99," +
+                     json::format_number(h.quantile(0.99))),
+            std::string::npos);
+}
+
+TEST(Registry, CsvEscapesDelimitersAndQuotesInNames) {
+  Registry reg;
+  reg.counter("lora.sf7,bw125").add(1);
+  reg.gauge("rssi \"raw\" dBm").set(-92.0);
+  reg.histogram("plain.name", {1.0}).observe(0.5);
+
+  const std::string csv = reg.to_csv();
+  // RFC 4180: the comma-bearing name is quoted so the column count holds.
+  EXPECT_NE(csv.find("counter,\"lora.sf7,bw125\",value,1"),
+            std::string::npos);
+  // Inner quotes are doubled inside the quoted field.
+  EXPECT_NE(csv.find("gauge,\"rssi \"\"raw\"\" dBm\",value,-92"),
+            std::string::npos);
+  // Names without delimiters stay unquoted.
+  EXPECT_NE(csv.find("histogram,plain.name,count,1"), std::string::npos);
+
+  // Every line still splits into exactly four columns when parsed with
+  // quote awareness.
+  std::istringstream lines(csv);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::size_t cols = 1;
+    bool quoted = false;
+    for (const char c : line) {
+      if (c == '"') quoted = !quoted;
+      else if (c == ',' && !quoted) ++cols;
+    }
+    EXPECT_FALSE(quoted) << line;
+    EXPECT_EQ(cols, 4u) << line;
+  }
 }
 
 TEST(EnabledSwitch, DisabledInstrumentsDropWrites) {

@@ -1,0 +1,247 @@
+// Flight recorder: ring bounds, timestamp sources, JSON/dump formats, and
+// the reliability supervisor's per-attempt wiring — a failed agreement must
+// carry a timeline that names the injected fault, byte-identical across
+// runs with the same seed.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "common/rng.h"
+#include "core/reconciler.h"
+#include "protocol/flight_recorder.h"
+#include "protocol/reliability.h"
+#include "protocol/sim_clock.h"
+#include "protocol/unreliable_channel.h"
+
+namespace vkey::protocol {
+namespace {
+
+TEST(FlightRecorder, RecordsEventsWithOrdinalsAndClockStamps) {
+  SimClock clock;
+  FlightRecorder rec(8, [&clock] { return clock.now_ms(); });
+  rec.record(FlightEventKind::kFrameTx, "alice", "key-gen-request", 5, 1);
+  clock.run_until(42.5);
+  rec.record(FlightEventKind::kFrameRx, "bob", "key-gen-request", 5, 1);
+
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].t_ms, 0.0);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[0].actor, "alice");
+  EXPECT_EQ(events[0].session_id, 5u);
+  EXPECT_DOUBLE_EQ(events[1].t_ms, 42.5);
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(events[1].kind, FlightEventKind::kFrameRx);
+}
+
+TEST(FlightRecorder, WithoutAClockTheOrdinalIsTheStamp) {
+  FlightRecorder rec(4);
+  rec.record(FlightEventKind::kInjected, "harness", "truncation");
+  rec.record(FlightEventKind::kInjected, "harness", "bitflip");
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].t_ms, 0.0);
+  EXPECT_DOUBLE_EQ(events[1].t_ms, 1.0);
+}
+
+TEST(FlightRecorder, RingDropsOldestAndKeepsTotals) {
+  FlightRecorder rec(3);
+  for (int i = 0; i < 7; ++i) {
+    rec.record(FlightEventKind::kFrameTx, "alice", std::to_string(i));
+  }
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.dropped(), 4u);
+  EXPECT_EQ(rec.total(), 7u);
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 3u);
+  // Newest three survive, oldest first, with their original ordinals.
+  EXPECT_EQ(events[0].detail, "4");
+  EXPECT_EQ(events[0].seq, 4u);
+  EXPECT_EQ(events[2].detail, "6");
+}
+
+TEST(FlightRecorder, ZeroCapacityDisablesRecording) {
+  FlightRecorder rec(0);
+  rec.record(FlightEventKind::kFrameTx, "alice");
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(FlightRecorder, DumpIsDeterministicAndNamesEveryField) {
+  auto build = [] {
+    SimClock clock;
+    FlightRecorder rec(16, [&clock] { return clock.now_ms(); });
+    clock.run_until(12.25);
+    rec.record(FlightEventKind::kDrop, "link", "key-gen-accept", 9, 3);
+    rec.record(FlightEventKind::kRetransmit, "bob", "timeout attempt=1", 9, 3);
+    return rec.dump();
+  };
+  const std::string dump = build();
+  EXPECT_EQ(dump, build());
+  EXPECT_NE(dump.find("2 event(s)"), std::string::npos);
+  EXPECT_NE(dump.find("drop"), std::string::npos);
+  EXPECT_NE(dump.find("link"), std::string::npos);
+  EXPECT_NE(dump.find("key-gen-accept"), std::string::npos);
+  EXPECT_NE(dump.find("session=9"), std::string::npos);
+  EXPECT_NE(dump.find("nonce=3"), std::string::npos);
+  EXPECT_NE(dump.find("12.250 ms"), std::string::npos);
+}
+
+TEST(FlightRecorder, ToJsonCarriesEventsDroppedAndTotal) {
+  FlightRecorder rec(2);
+  rec.record(FlightEventKind::kReject, "alice", "mac-mismatch on syndrome");
+  rec.record(FlightEventKind::kStateChange, "alice", "await-syndrome->failed");
+  rec.record(FlightEventKind::kAttemptEnd, "supervisor", "mac-mismatch");
+  const json::Value doc = rec.to_json();
+  EXPECT_DOUBLE_EQ(doc.at("dropped").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(doc.at("total").as_number(), 3.0);
+  const auto& events = doc.at("events").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("kind").as_string(), "state-change");
+  EXPECT_EQ(events[1].at("actor").as_string(), "supervisor");
+}
+
+TEST(FlightRecorder, ChannelWiringRecordsInjectedFaults) {
+  SimClock clock;
+  PublicChannel base;
+  FaultConfig faults;
+  faults.drop_prob = 0.5;
+  faults.seed = 11;
+  channel::LoRaParams radio;
+  radio.spreading_factor = 7;  // keep virtual airtimes small
+  UnreliableChannel link(clock, base, faults, radio);
+  FlightRecorder rec(256, [&clock] { return clock.now_ms(); });
+  link.set_recorder(&rec);
+  link.set_handler(UnreliableChannel::Endpoint::kBob, [](const Message&) {});
+  link.set_handler(UnreliableChannel::Endpoint::kAlice, [](const Message&) {});
+
+  Message m;
+  m.type = MessageType::kKeyGenRequest;
+  for (std::uint64_t n = 0; n < 40; ++n) {
+    m.nonce = n;
+    link.send(UnreliableChannel::Endpoint::kAlice, m);
+  }
+  clock.run_until_idle();
+
+  std::size_t tx = 0, rx = 0, drops = 0;
+  for (const auto& ev : rec.events()) {
+    if (ev.kind == FlightEventKind::kFrameTx) ++tx;
+    if (ev.kind == FlightEventKind::kFrameRx) ++rx;
+    if (ev.kind == FlightEventKind::kDrop) ++drops;
+  }
+  EXPECT_EQ(tx, 40u);
+  EXPECT_GT(drops, 0u);     // 50% drop over 40 frames
+  EXPECT_EQ(tx, rx + drops);  // every frame either arrived or was dropped
+}
+
+// ------------------------------------------- supervisor wiring (end to end)
+
+class FlightReliabilityTest : public ::testing::Test {
+ public:
+  static void SetUpTestSuite() {
+    core::ReconcilerConfig cfg;
+    cfg.key_bits = 64;
+    cfg.decoder_units = 64;
+    reconciler_ = new core::AutoencoderReconciler(cfg);
+    reconciler_->train(2500, 25);
+  }
+  static void TearDownTestSuite() {
+    delete reconciler_;
+    reconciler_ = nullptr;
+  }
+
+  static BitVec random_key(std::uint64_t seed) {
+    vkey::Rng rng(seed);
+    BitVec k(64);
+    for (std::size_t i = 0; i < 64; ++i) k.set(i, rng.bernoulli(0.5));
+    return k;
+  }
+
+  static core::AutoencoderReconciler* reconciler_;
+};
+
+core::AutoencoderReconciler* FlightReliabilityTest::reconciler_ = nullptr;
+
+TEST_F(FlightReliabilityTest, AttemptTimelineTravelsWithTheReport) {
+  ReliabilityConfig cfg;
+  cfg.fault.drop_prob = 0.3;
+  cfg.fault.seed = 21;
+  cfg.arq.seed = 22;
+  PublicChannel base;
+  const BitVec kb = random_key(33);
+  const auto report = run_reliable_key_agreement(
+      base, *reconciler_, cfg, [&](std::size_t) {
+        return std::make_pair(kb, kb);  // identical keys: reconciles cleanly
+      });
+  ASSERT_TRUE(report.established);
+  ASSERT_FALSE(report.attempt_log.empty());
+  const auto& flight = report.attempt_log.back().flight;
+  const auto events = flight.events();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front().kind, FlightEventKind::kAttemptStart);
+  EXPECT_EQ(events.back().kind, FlightEventKind::kAttemptEnd);
+  EXPECT_EQ(events.back().detail, "established");
+  // An established agreement has no post-mortem.
+  EXPECT_TRUE(report.failure_dump().empty());
+}
+
+TEST_F(FlightReliabilityTest, FailureDumpNamesTheInjectedFault) {
+  // Certain-drop on a single attempt: the ARQ burns its budget and the
+  // supervisor reports kRetryExhausted; the timeline must show the drops.
+  ReliabilityConfig cfg;
+  cfg.fault.drop_prob = 0.95;
+  cfg.fault.seed = 4;
+  cfg.arq.seed = 5;
+  cfg.max_session_attempts = 1;
+  PublicChannel base;
+  const BitVec kb = random_key(44);
+  const auto report = run_reliable_key_agreement(
+      base, *reconciler_, cfg,
+      [&](std::size_t) { return std::make_pair(kb, kb); });
+  ASSERT_FALSE(report.established);
+
+  const std::string dump = report.failure_dump();
+  ASSERT_FALSE(dump.empty());
+  EXPECT_NE(dump.find(to_string(report.failure)), std::string::npos);
+  EXPECT_NE(dump.find("drop"), std::string::npos);  // the injected fault
+  EXPECT_NE(dump.find("attempt-start"), std::string::npos);
+}
+
+TEST_F(FlightReliabilityTest, SameSeedYieldsByteIdenticalDumps) {
+  auto run = [&] {
+    ReliabilityConfig cfg;
+    cfg.fault.drop_prob = 0.95;
+    cfg.fault.seed = 4;
+    cfg.arq.seed = 5;
+    cfg.max_session_attempts = 1;
+    PublicChannel base;
+    const BitVec kb = random_key(44);
+    const auto report = run_reliable_key_agreement(
+        base, *reconciler_, cfg,
+        [&](std::size_t) { return std::make_pair(kb, kb); });
+    return report.failure_dump();
+  };
+  const std::string first = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, run());
+}
+
+TEST_F(FlightReliabilityTest, ZeroFlightCapacityDisablesTheTimeline) {
+  ReliabilityConfig cfg;
+  cfg.flight_capacity = 0;
+  cfg.fault.drop_prob = 0.95;
+  cfg.fault.seed = 4;
+  cfg.arq.seed = 5;
+  cfg.max_session_attempts = 1;
+  PublicChannel base;
+  const BitVec kb = random_key(44);
+  const auto report = run_reliable_key_agreement(
+      base, *reconciler_, cfg,
+      [&](std::size_t) { return std::make_pair(kb, kb); });
+  ASSERT_FALSE(report.established);
+  EXPECT_EQ(report.attempt_log.back().flight.size(), 0u);
+  EXPECT_TRUE(report.failure_dump().empty());
+}
+
+}  // namespace
+}  // namespace vkey::protocol

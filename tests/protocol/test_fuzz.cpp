@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "core/reconciler.h"
+#include "protocol/flight_recorder.h"
 #include "protocol/message.h"
 #include "protocol/session.h"
 
@@ -193,6 +194,85 @@ TEST_F(SessionFuzz, RandomInterleavingsNeverCrashOrDisagree) {
   // frame to corruption (there is no ARQ at this layer), so full completion
   // is the minority outcome — but it must not be vanishingly rare.
   EXPECT_GT(established_both, kTrials / 40);
+}
+
+TEST_F(SessionFuzz, FailedFuzzedSessionDumpsTimelineNamingTheInjectedFault) {
+  // Same interleaving harness, but with a flight recorder wired into both
+  // sessions and fed a kInjected event for every harness-made fault. When a
+  // fuzz trial kills a session, the recorder's dump must be a usable
+  // post-mortem: it names the injected fault and the session's reaction
+  // (reject + state change) in order, with no wall-clock in sight.
+  bool saw_failed_session_with_fault = false;
+  for (int trial = 0; trial < 400 && !saw_failed_session_with_fault;
+       ++trial) {
+    vkey::Rng rng(
+        hash_combine64(0xf7169ULL, static_cast<std::uint64_t>(trial)));
+    BitVec kb(64), ka;
+    for (std::size_t i = 0; i < 64; ++i) kb.set(i, rng.bernoulli(0.5));
+    ka = kb;
+    for (int f = 0; f < 3; ++f) {
+      ka.flip(static_cast<std::size_t>(rng.uniform_int(64)));
+    }
+
+    SessionConfig cfg;
+    AliceSession alice(cfg, *reconciler_, ka);
+    BobSession bob(cfg, *reconciler_, kb);
+    FlightRecorder rec(256);  // no clock: ordinals order the timeline
+    alice.set_recorder(&rec, "alice");
+    bob.set_recorder(&rec, "bob");
+
+    std::deque<Message> wire;
+    wire.push_back(alice.start());
+    bool syndrome_queued = false;
+    bool injected = false;
+
+    int steps = 0;
+    while (!wire.empty() && steps++ < 64) {
+      const std::size_t pick = rng.uniform_int(wire.size());
+      Message msg = wire[pick];
+      wire.erase(wire.begin() + static_cast<std::ptrdiff_t>(pick));
+
+      if (rng.bernoulli(0.25)) {
+        auto bytes = serialize(msg);
+        bytes[rng.uniform_int(bytes.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.uniform_int(8));
+        auto reparsed = deserialize(bytes);
+        rec.record(FlightEventKind::kInjected, "harness",
+                   "bitflip on " + to_string(msg.type), msg.session_id,
+                   msg.nonce);
+        injected = true;
+        if (!reparsed.has_value()) continue;  // lost to the CRC
+        msg = *reparsed;
+      }
+
+      std::optional<Message> reply;
+      if (msg.type == MessageType::kKeyGenRequest ||
+          msg.type == MessageType::kKeyConfirm) {
+        reply = bob.handle(msg);
+      } else {
+        reply = alice.handle(msg);
+      }
+      if (reply) wire.push_back(*reply);
+      if (!syndrome_queued && bob.state() == SessionState::kAwaitConfirm) {
+        syndrome_queued = true;
+        wire.push_back(bob.make_syndrome());
+      }
+    }
+
+    const bool failed = alice.state() == SessionState::kFailed ||
+                        bob.state() == SessionState::kFailed;
+    if (!failed || !injected) continue;
+    saw_failed_session_with_fault = true;
+
+    const std::string dump = rec.dump();
+    EXPECT_NE(dump.find("injected"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("bitflip on "), std::string::npos) << dump;
+    EXPECT_NE(dump.find("->failed"), std::string::npos) << dump;
+    // The injected fault precedes the failure transition in the timeline.
+    EXPECT_LT(dump.find("injected"), dump.find("->failed")) << dump;
+  }
+  EXPECT_TRUE(saw_failed_session_with_fault)
+      << "fuzz never produced a failed session with an injected fault";
 }
 
 }  // namespace

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""check_trace.py — validate a Chrome trace-event JSON export.
+
+Checks the files written by `--trace-out` (vkey_sim and every bench binary)
+against the subset of the Chrome trace-event format the exporter promises,
+so a regression in trace.cpp fails CI instead of silently producing a file
+Perfetto refuses to load:
+
+  * top level is an object with a `traceEvents` array (the "JSON Object
+    Format" of the trace-event spec);
+  * every event is a complete ("X") or instant ("i") event with string
+    `name`/`cat`, numeric `ts` (microseconds) and integer `pid`/`tid`;
+  * "X" events carry a non-negative `dur`; "i" events carry scope `s`;
+  * `args.id` values are the dense remap 0..n-1 in event order — the
+    canonical (start, id) export order, which is what makes the file
+    byte-diffable across `--threads` values;
+  * every `args.parent` names an id that exists and is not the event's own
+    (the exporter omits the ref when the parent was evicted from the ring).
+
+Usage:
+    python3 tools/check_trace.py trace.json [more.json ...]
+
+Exit status: 0 when every file validates, 1 on a validation failure,
+2 on usage or I/O errors.
+"""
+
+import json
+import sys
+
+VALID_PHASES = ("X", "i")
+
+
+def fail(path, index, message):
+    print(f"{path}: event {index}: {message}", file=sys.stderr)
+    return False
+
+
+def check_event(path, index, ev, ids):
+    if not isinstance(ev, dict):
+        return fail(path, index, "event is not an object")
+    for key in ("name", "cat"):
+        if not isinstance(ev.get(key), str) or not ev[key]:
+            return fail(path, index, f"missing or empty string field '{key}'")
+    ph = ev.get("ph")
+    if ph not in VALID_PHASES:
+        return fail(path, index, f"phase {ph!r} is not one of {VALID_PHASES}")
+    ts = ev.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+        return fail(path, index, f"ts {ts!r} is not a non-negative number")
+    for key in ("pid", "tid"):
+        if not isinstance(ev.get(key), int) or isinstance(ev.get(key), bool):
+            return fail(path, index, f"{key} {ev.get(key)!r} is not an int")
+    if ph == "X":
+        dur = ev.get("dur")
+        if (not isinstance(dur, (int, float)) or isinstance(dur, bool)
+                or dur < 0):
+            return fail(path, index,
+                        f"complete event dur {dur!r} is not a "
+                        "non-negative number")
+    else:
+        if ev.get("s") not in ("t", "p", "g"):
+            return fail(path, index,
+                        f"instant event scope {ev.get('s')!r} is not one of "
+                        "'t'/'p'/'g'")
+    args = ev.get("args")
+    if not isinstance(args, dict):
+        return fail(path, index, "missing args object")
+    if args.get("id") != index:
+        return fail(path, index,
+                    f"args.id {args.get('id')!r} breaks the dense 0..n-1 "
+                    "remap (expected the event's position)")
+    ids.add(index)
+    return True
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    except json.JSONDecodeError as err:
+        print(f"{path}: not valid JSON: {err}", file=sys.stderr)
+        return False
+
+    if not isinstance(doc, dict) or not isinstance(
+            doc.get("traceEvents"), list):
+        print(f"{path}: top level must be an object with a traceEvents "
+              "array", file=sys.stderr)
+        return False
+
+    events = doc["traceEvents"]
+    ok = True
+    ids = set()
+    prev_key = None
+    for index, ev in enumerate(events):
+        if not check_event(path, index, ev, ids):
+            ok = False
+            continue
+        key = (ev["ts"], ev["args"]["id"])
+        if prev_key is not None and key < prev_key:
+            ok = fail(path, index,
+                      f"order {key} after {prev_key} breaks the canonical "
+                      "(ts, id) sort")
+        prev_key = key
+    for index, ev in enumerate(events):
+        if not isinstance(ev, dict) or not isinstance(ev.get("args"), dict):
+            continue
+        parent = ev["args"].get("parent")
+        if parent is None:
+            continue
+        if parent not in ids:
+            ok = fail(path, index, f"parent {parent!r} names no event")
+        elif parent == ev["args"].get("id"):
+            ok = fail(path, index, "event is its own parent")
+    if ok:
+        print(f"{path}: OK ({len(events)} events)")
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    return 0 if all([check_file(p) for p in argv[1:]]) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
