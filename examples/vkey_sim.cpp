@@ -56,6 +56,7 @@
 #include "common/trace.h"
 #include "core/pipeline.h"
 #include "protocol/reliability.h"
+#include "protocol/wire.h"
 
 using namespace vkey;
 using namespace vkey::channel;
@@ -284,6 +285,11 @@ int main(int argc, char** argv) {
     lt.print("reliable key agreement over the lossy link");
   }
 
+  // Register the full wire.reject.* taxonomy before any dump so the CSV /
+  // JSON structure is the same whether or not a given reject fired.
+  if (metrics::enabled() && (dump_metrics || !metrics_json_path.empty())) {
+    protocol::wire::register_wire_metrics();
+  }
   if (dump_metrics) {
     if (metrics::enabled()) {
       std::printf("\nmetrics registry (VKEY_METRICS=off disables "

@@ -14,6 +14,7 @@ std::string to_string(FlightEventKind k) {
     case FlightEventKind::kDrop: return "drop";
     case FlightEventKind::kCorrupt: return "corrupt";
     case FlightEventKind::kCrcLost: return "crc-lost";
+    case FlightEventKind::kWireReject: return "wire-reject";
     case FlightEventKind::kReorder: return "reorder";
     case FlightEventKind::kDuplicate: return "duplicate";
     case FlightEventKind::kRetransmit: return "retransmit";

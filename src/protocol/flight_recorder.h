@@ -42,6 +42,7 @@ enum class FlightEventKind : std::uint8_t {
   kDrop,          ///< fault injector lost the frame
   kCorrupt,       ///< fault injector flipped bits (frame still parsed)
   kCrcLost,       ///< corruption beyond parsing; radio CRC discarded it
+  kWireReject,    ///< frame codec rejected the bytes (detail: WireError)
   kReorder,       ///< fault injector added reordering delay
   kDuplicate,     ///< fault injector scheduled an echo copy
   kRetransmit,    ///< ARQ resent a frame (detail: "timeout ..." or "fast")

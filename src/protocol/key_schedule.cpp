@@ -1,0 +1,337 @@
+#include "protocol/key_schedule.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "crypto/aes128.h"
+#include "crypto/hkdf.h"
+#include "crypto/hmac.h"
+#include "protocol/unreliable_channel.h"
+
+namespace vkey::protocol {
+
+namespace {
+
+void append_be32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void append_be64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  append_be32(out, static_cast<std::uint32_t>(v >> 32));
+  append_be32(out, static_cast<std::uint32_t>(v));
+}
+
+std::vector<std::uint8_t> label_bytes(const char* label) {
+  const std::string s(label);
+  return {s.begin(), s.end()};
+}
+
+// Extraction salt: protocol string || session || epoch. Putting the epoch in
+// the salt (not just the expand labels) separates epochs at the extract
+// step, so even identical input secrets yield unrelated PRKs per epoch.
+std::vector<std::uint8_t> epoch_salt(std::uint64_t session_id,
+                                     std::uint32_t epoch) {
+  std::vector<std::uint8_t> salt = label_bytes("vkey/wire/v1");
+  append_be64(salt, session_id);
+  append_be32(salt, epoch);
+  return salt;
+}
+
+std::vector<std::uint8_t> expand_label(const std::vector<std::uint8_t>& prk,
+                                       const std::string& label,
+                                       std::size_t length) {
+  return crypto::hkdf_expand(
+      prk, std::vector<std::uint8_t>(label.begin(), label.end()), length);
+}
+
+std::uint32_t read_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+std::uint64_t read_be64(const std::uint8_t* p) {
+  return (static_cast<std::uint64_t>(read_be32(p)) << 32) | read_be32(p + 4);
+}
+
+DirectionKeys derive_direction(const std::vector<std::uint8_t>& prk,
+                               const std::string& dir) {
+  DirectionKeys keys;
+  const auto enc = expand_label(prk, "vkey v1 " + dir + " enc", 16);
+  std::copy(enc.begin(), enc.end(), keys.enc.begin());
+  keys.mac = expand_label(prk, "vkey v1 " + dir + " mac", 32);
+  const auto nonce = expand_label(prk, "vkey v1 " + dir + " nonce", 8);
+  keys.nonce_base = read_be64(nonce.data());
+  return keys;
+}
+
+/// Tag = HMAC(confirm_key, mac_input(frame) || role byte). mac_input covers
+/// type|session|nonce|payload, so the tag binds the whole confirm frame; the
+/// role byte rules out reflection even if the types were ever unified.
+std::vector<std::uint8_t> confirm_tag(const EpochKeys& keys,
+                                      const Message& msg,
+                                      KeySchedule::Role role) {
+  std::vector<std::uint8_t> input = mac_input(msg);
+  input.push_back(static_cast<std::uint8_t>(role));
+  const auto tag = crypto::hmac_sha256(keys.confirm, input);
+  return {tag.begin(), tag.end()};
+}
+
+}  // namespace
+
+EpochKeys derive_epoch_keys(const std::vector<std::uint8_t>& secret,
+                            std::uint64_t session_id, std::uint32_t epoch) {
+  const auto prk =
+      crypto::hkdf_extract(epoch_salt(session_id, epoch), secret);
+  EpochKeys keys;
+  keys.epoch = epoch;
+  keys.a2b = derive_direction(prk, "a2b");
+  keys.b2a = derive_direction(prk, "b2a");
+  keys.confirm = expand_label(prk, "vkey v1 confirm", 32);
+  return keys;
+}
+
+std::vector<std::uint8_t> ratchet_secret(
+    const std::vector<std::uint8_t>& secret, std::uint64_t session_id,
+    std::uint32_t next_epoch) {
+  VKEY_REQUIRE(next_epoch >= 1, "epoch 0 has no predecessor to ratchet from");
+  // Epoch e's PRK (salt carries e = next_epoch - 1) produces epoch e+1's
+  // secret, matching the label schedule in the header diagram.
+  const auto prk = crypto::hkdf_extract(
+      epoch_salt(session_id, next_epoch - 1), secret);
+  return expand_label(prk, "vkey v1 ratchet", 32);
+}
+
+KeySchedule::KeySchedule(const BitVec& amplified_secret,
+                         std::uint64_t session_id, Role role)
+    : KeySchedule(amplified_secret, session_id, role, Policy()) {}
+
+KeySchedule::KeySchedule(const BitVec& amplified_secret,
+                         std::uint64_t session_id, Role role, Policy policy)
+    : session_id_(session_id),
+      role_(role),
+      policy_(policy),
+      secret_(amplified_secret.to_bytes()) {
+  VKEY_REQUIRE(!secret_.empty(), "amplified secret must be non-empty");
+  VKEY_REQUIRE(policy_.rekey_interval_ms > 0.0 && policy_.grace_ms >= 0.0,
+               "rekey interval must be positive, grace non-negative");
+  current_ = derive_epoch_keys(secret_, session_id_, 0);
+}
+
+bool KeySchedule::rekey_due(double now_ms) const noexcept {
+  return now_ms - last_rekey_ms_ >= policy_.rekey_interval_ms;
+}
+
+void KeySchedule::rekey(double now_ms) {
+  previous_ = current_;
+  previous_expires_ms_ = now_ms + policy_.grace_ms;
+  const std::uint32_t next = current_.epoch + 1;
+  secret_ = ratchet_secret(secret_, session_id_, next);
+  current_ = derive_epoch_keys(secret_, session_id_, next);
+  last_rekey_ms_ = now_ms;
+  ++stats_.rekeys;
+}
+
+Message KeySchedule::make_confirm(std::uint64_t nonce) const {
+  Message msg;
+  msg.type = role_ == Role::kInitiator ? MessageType::kKeyConfirm
+                                       : MessageType::kKeyConfirmAck;
+  msg.session_id = session_id_;
+  msg.nonce = nonce;
+  append_be32(msg.payload, current_.epoch);
+  msg.mac = confirm_tag(current_, msg, role_);
+  return msg;
+}
+
+bool KeySchedule::verify_confirm(const Message& msg) const {
+  const Role peer =
+      role_ == Role::kInitiator ? Role::kResponder : Role::kInitiator;
+  const MessageType expected_type = peer == Role::kInitiator
+                                        ? MessageType::kKeyConfirm
+                                        : MessageType::kKeyConfirmAck;
+  if (msg.type != expected_type || msg.session_id != session_id_) return false;
+  if (msg.payload.size() != 4 ||
+      read_be32(msg.payload.data()) != current_.epoch) {
+    return false;
+  }
+  return crypto::constant_time_equal(msg.mac, confirm_tag(current_, msg, peer));
+}
+
+Message KeySchedule::seal(std::uint64_t nonce,
+                          const std::vector<std::uint8_t>& plain) {
+  const DirectionKeys& tx = send_keys(current_);
+  Message msg;
+  msg.type = MessageType::kData;
+  msg.session_id = session_id_;
+  msg.nonce = nonce;
+  append_be32(msg.payload, current_.epoch);
+  const auto cipher =
+      crypto::Aes128(tx.enc).ctr_crypt(plain, tx.nonce_base ^ nonce);
+  msg.payload.insert(msg.payload.end(), cipher.begin(), cipher.end());
+  const auto tag = crypto::hmac_sha256(tx.mac, mac_input(msg));
+  msg.mac.assign(tag.begin(), tag.end());
+  ++stats_.sealed;
+  return msg;
+}
+
+std::optional<std::vector<std::uint8_t>> KeySchedule::open(const Message& msg,
+                                                           double now_ms) {
+  if (msg.type != MessageType::kData || msg.session_id != session_id_ ||
+      msg.payload.size() < 4) {
+    ++stats_.malformed;
+    return std::nullopt;
+  }
+  const std::uint32_t epoch = read_be32(msg.payload.data());
+
+  const EpochKeys* keys = nullptr;
+  bool grace = false;
+  if (epoch == current_.epoch) {
+    keys = &current_;
+  } else if (previous_.has_value() && epoch == previous_->epoch &&
+             now_ms <= previous_expires_ms_) {
+    keys = &*previous_;
+    grace = true;
+  } else if (epoch == current_.epoch + 1) {
+    // The peer rekeyed first. Derive the candidate epoch and require the
+    // frame to authenticate under it *before* adopting anything — a forged
+    // epoch number alone must not move the schedule.
+    auto next_secret = ratchet_secret(secret_, session_id_, epoch);
+    EpochKeys candidate = derive_epoch_keys(next_secret, session_id_, epoch);
+    const auto tag =
+        crypto::hmac_sha256(recv_keys(candidate).mac, mac_input(msg));
+    if (!crypto::constant_time_equal(
+            msg.mac, std::vector<std::uint8_t>(tag.begin(), tag.end()))) {
+      ++stats_.mac_rejects;
+      return std::nullopt;
+    }
+    previous_ = std::move(current_);
+    previous_expires_ms_ = now_ms + policy_.grace_ms;
+    secret_ = std::move(next_secret);
+    current_ = std::move(candidate);
+    last_rekey_ms_ = now_ms;
+    ++stats_.rekeys;
+    ++stats_.fast_forwards;
+    keys = &current_;
+  } else {
+    ++stats_.epoch_rejects;
+    return std::nullopt;
+  }
+
+  // The fast-forward path verified once already; verifying again here keeps
+  // a single authenticate-then-decrypt sequence for every route.
+  const DirectionKeys& rx = recv_keys(*keys);
+  const auto tag = crypto::hmac_sha256(rx.mac, mac_input(msg));
+  if (!crypto::constant_time_equal(
+          msg.mac, std::vector<std::uint8_t>(tag.begin(), tag.end()))) {
+    ++stats_.mac_rejects;
+    return std::nullopt;
+  }
+
+  std::vector<std::uint8_t> cipher(msg.payload.begin() + 4,
+                                   msg.payload.end());
+  auto plain = crypto::Aes128(rx.enc).ctr_crypt(cipher, rx.nonce_base ^
+                                                            msg.nonce);
+  ++stats_.opened;
+  if (grace) ++stats_.grace_opens;
+  return plain;
+}
+
+RekeyTimer::RekeyTimer(SimClock& clock, KeySchedule& schedule,
+                       std::function<void(std::uint32_t)> on_rekey)
+    : clock_(clock), schedule_(schedule), on_rekey_(std::move(on_rekey)) {}
+
+RekeyTimer::~RekeyTimer() { stop(); }
+
+void RekeyTimer::start() {
+  if (running_) return;
+  running_ = true;
+  arm(schedule_.policy().rekey_interval_ms);
+}
+
+void RekeyTimer::stop() {
+  running_ = false;
+  clock_.cancel(pending_);
+}
+
+void RekeyTimer::arm(double delay_ms) {
+  pending_ = clock_.schedule(delay_ms, [this] {
+    if (!running_) return;
+    ++fired_;
+    const double now = clock_.now_ms();
+    if (schedule_.rekey_due(now)) {
+      schedule_.rekey(now);
+      if (on_rekey_) on_rekey_(schedule_.epoch());
+      arm(schedule_.policy().rekey_interval_ms);
+    } else {
+      // The peer fast-forwarded us since the last firing; re-arm for the
+      // remainder of the current epoch's interval instead of rekeying
+      // early (which would race the peer one epoch ahead).
+      arm(schedule_.last_rekey_ms() + schedule_.policy().rekey_interval_ms -
+          now);
+    }
+  });
+}
+
+ConfirmReport run_key_confirmation(SimClock& clock, UnreliableChannel& link,
+                                   KeySchedule& initiator,
+                                   KeySchedule& responder,
+                                   std::size_t max_transmissions,
+                                   std::uint64_t nonce_base) {
+  using Endpoint = UnreliableChannel::Endpoint;
+  VKEY_REQUIRE(max_transmissions >= 1, "need at least one transmission");
+
+  ConfirmReport report;
+  const double t0 = clock.now_ms();
+  double done_at = t0;
+  bool done = false;
+  std::uint64_t ack_nonce = nonce_base + 500'000;
+
+  // The responder is stateless: every authentic confirm earns a fresh ack,
+  // so a lost ack heals on the initiator's next retransmission.
+  link.set_handler(Endpoint::kBob, [&](const Message& msg) {
+    if (msg.type == MessageType::kKeyConfirm &&
+        responder.verify_confirm(msg)) {
+      link.send(Endpoint::kBob, responder.make_confirm(ack_nonce++));
+    }
+  });
+  link.set_handler(Endpoint::kAlice, [&](const Message& msg) {
+    if (!done && msg.type == MessageType::kKeyConfirmAck &&
+        initiator.verify_confirm(msg)) {
+      done = true;
+      done_at = clock.now_ms();
+    }
+  });
+
+  // Retransmit on a flat timeout of ~2 RTT plus slack for reordering and
+  // duplicate echoes. All virtual time, so the choice only affects how much
+  // simulated air the retries consume.
+  const Message probe = initiator.make_confirm(nonce_base);
+  const double timeout_ms =
+      4.0 * link.nominal_latency_ms(probe) +
+      link.faults().reorder_window_ms + 100.0;
+
+  std::function<void()> attempt = [&] {
+    if (done || report.transmissions >= max_transmissions) return;
+    ++report.transmissions;
+    link.send(Endpoint::kAlice,
+              initiator.make_confirm(nonce_base + report.transmissions));
+    clock.schedule(timeout_ms, attempt);
+  };
+  attempt();
+  clock.run_until_idle();
+
+  // The handlers capture locals of this frame; leave inert ones behind so a
+  // stale delivery scheduled by the caller later cannot touch dead stack.
+  link.set_handler(Endpoint::kAlice, [](const Message&) {});
+  link.set_handler(Endpoint::kBob, [](const Message&) {});
+
+  report.confirmed = done;
+  report.duration_ms = (done ? done_at : clock.now_ms()) - t0;
+  return report;
+}
+
+}  // namespace vkey::protocol

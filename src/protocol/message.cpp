@@ -33,6 +33,7 @@ std::string to_string(MessageType t) {
     case MessageType::kKeyConfirmAck: return "key-confirm-ack";
     case MessageType::kData: return "data";
     case MessageType::kAck: return "ack";
+    case MessageType::kRekey: return "rekey";
   }
   return "?";
 }
@@ -59,7 +60,7 @@ std::optional<Message> deserialize(std::span<const std::uint8_t> bytes) {
   if (bytes.empty()) return std::nullopt;
   Message msg;
   const std::uint8_t type = bytes[off++];
-  if (type < 1 || type > 7) return std::nullopt;
+  if (type < 1 || type > kMaxMessageType) return std::nullopt;
   msg.type = static_cast<MessageType>(type);
 
   const auto session = get_u64(bytes, off);
@@ -68,7 +69,11 @@ std::optional<Message> deserialize(std::span<const std::uint8_t> bytes) {
   if (!session || !nonce || !payload_len) return std::nullopt;
   msg.session_id = *session;
   msg.nonce = *nonce;
-  if (off + *payload_len > bytes.size()) return std::nullopt;
+  // Bound the claimed length by policy first, then by the buffer — and
+  // compare as `len > size - off` so a near-2^64 forged length cannot wrap
+  // the addition and sneak past the check.
+  if (*payload_len > kMaxPayloadBytes) return std::nullopt;
+  if (*payload_len > bytes.size() - off) return std::nullopt;
   msg.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(off),
                      bytes.begin() +
                          static_cast<std::ptrdiff_t>(off + *payload_len));
@@ -76,7 +81,8 @@ std::optional<Message> deserialize(std::span<const std::uint8_t> bytes) {
 
   const auto mac_len = get_u64(bytes, off);
   if (!mac_len) return std::nullopt;
-  if (off + *mac_len != bytes.size()) return std::nullopt;
+  if (*mac_len > kMaxMacBytes) return std::nullopt;
+  if (*mac_len != bytes.size() - off) return std::nullopt;
   msg.mac.assign(bytes.begin() + static_cast<std::ptrdiff_t>(off),
                  bytes.end());
   return msg;

@@ -25,7 +25,23 @@ enum class MessageType : std::uint8_t {
   kData = 6,            ///< AES-CTR protected payload
   kAck = 7,             ///< transport-level delivery acknowledgement (ARQ);
                         ///< nonce = the nonce of the frame being acked
+  kRekey = 8,           ///< key-schedule epoch announcement (key_schedule.h):
+                        ///< payload = be32(epoch) || HMAC under the new
+                        ///< epoch's confirmation key
 };
+
+/// Highest MessageType value a parser may accept; anything outside
+/// [1, kMaxMessageType] is malformed.
+inline constexpr std::uint8_t kMaxMessageType =
+    static_cast<std::uint8_t>(MessageType::kRekey);
+
+/// Hard bounds a parser enforces on length fields *before* trusting them.
+/// The largest honest payload is the syndrome (code_dim doubles, well under
+/// 4 KiB at every configuration the repo ships); the largest MAC is
+/// HMAC-SHA256 (32 bytes, bounded at 64 for agility). Anything bigger is an
+/// attack or corruption, and must be rejected without allocating.
+inline constexpr std::size_t kMaxPayloadBytes = 8192;
+inline constexpr std::size_t kMaxMacBytes = 64;
 
 /// Short wire name ("key-gen-request", "ack", ...) for logs and the
 /// flight recorder.
@@ -46,7 +62,10 @@ struct Message {
 /// MAC input.
 std::vector<std::uint8_t> serialize(const Message& msg);
 
-/// Parse bytes back into a Message; nullopt on malformed input.
+/// Parse bytes back into a Message; nullopt on malformed input. Length
+/// prefixes are validated against both the actual buffer and the
+/// kMaxPayloadBytes / kMaxMacBytes bounds before any allocation, so a
+/// forged length field can neither overrun the buffer nor balloon memory.
 std::optional<Message> deserialize(std::span<const std::uint8_t> bytes);
 
 /// The byte string a MAC covers: everything except the mac field itself.

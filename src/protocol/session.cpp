@@ -30,7 +30,8 @@ std::vector<std::uint8_t> confirm_digest(const BitVec& final_key,
     sid[i] = static_cast<std::uint8_t>(session_id >> (56 - 8 * i));
   }
   h.update(sid, sizeof(sid));
-  h.update(reinterpret_cast<const std::uint8_t*>(role), 1);
+  const std::uint8_t role_byte = static_cast<std::uint8_t>(role[0]);
+  h.update(&role_byte, 1);
   const auto d = h.finalize();
   return {d.begin(), d.end()};
 }

@@ -5,6 +5,7 @@
 #include "common/metrics.h"
 #include "protocol/flight_recorder.h"
 #include "protocol/message.h"
+#include "protocol/wire.h"
 
 namespace vkey::protocol {
 
@@ -45,7 +46,9 @@ void UnreliableChannel::set_handler(Endpoint endpoint, Handler handler) {
 
 double UnreliableChannel::airtime_ms(const Message& msg) const {
   channel::LoRaParams p = radio_;
-  p.payload_bytes = static_cast<int>(serialize(msg).size());
+  // The radio carries the packed v1 frame, not the in-memory serialization;
+  // airtime (and therefore every ARQ timeout) follows the frame size.
+  p.payload_bytes = static_cast<int>(wire::frame_size(msg));
   return channel::LoRaPhy(p).airtime() * 1000.0;
 }
 
@@ -78,7 +81,7 @@ void UnreliableChannel::send(Endpoint from, const Message& msg) {
     // Airtime is spent by the transmitter whether or not the frame
     // survives the channel.
     channel::LoRaParams p = radio_;
-    p.payload_bytes = static_cast<int>(serialize(msg).size());
+    p.payload_bytes = static_cast<int>(wire::frame_size(msg));
     channel::LoRaPhy(p).account_airtime("wire");
   }
   const Endpoint to =
@@ -101,7 +104,11 @@ void UnreliableChannel::send(Endpoint from, const Message& msg) {
   }
 
   if (rng_.bernoulli(faults_.corrupt_prob)) {
-    auto bytes = serialize(*in_flight);
+    // Corruption happens to the *serialized frame* — the actual bytes on
+    // the air — so the frame CRC catches almost all damage (typed reject,
+    // frame lost like a radio CRC drop) and the rare CRC-colliding flip
+    // must still get past the protocol-layer MAC.
+    auto bytes = wire::encode_frame(*in_flight);
     const int flips = 1 + static_cast<int>(rng_.uniform_int(3));
     for (int f = 0; f < flips; ++f) {
       bytes[rng_.uniform_int(bytes.size())] ^=
@@ -109,14 +116,15 @@ void UnreliableChannel::send(Endpoint from, const Message& msg) {
     }
     ++stats_.corrupted;
     link_counter("corrupted").add(1);
-    auto reparsed = deserialize(bytes);
+    wire::WireError err = wire::WireError::kNone;
+    auto reparsed = wire::decode_frame(bytes, &err);
     if (!reparsed.has_value()) {
-      ++stats_.crc_lost;  // the radio CRC would have rejected this frame
+      ++stats_.crc_lost;  // the radio discards the damaged frame
       link_counter("crc_lost").add(1);
       if (recorder_ != nullptr) {
-        recorder_->record(FlightEventKind::kCrcLost, "link",
-                          to_string(msg.type) + " flips=" +
-                              std::to_string(flips),
+        recorder_->record(FlightEventKind::kWireReject, "link",
+                          wire::to_string(err) + " on " + to_string(msg.type) +
+                              " flips=" + std::to_string(flips),
                           msg.session_id, msg.nonce);
       }
       return;

@@ -10,10 +10,13 @@
 // endpoint through the SimClock:
 //
 //   * drop:        frame lost with probability drop_prob;
-//   * corruption:  1..3 random bit flips in the serialized frame with
-//                  probability corrupt_prob (an unparseable frame counts as
-//                  lost — the radio CRC would have discarded it);
-//   * latency:     time-on-air of the serialized frame (channel::LoRaPhy)
+//   * corruption:  1..3 random bit flips in the *packed wire frame*
+//                  (protocol/wire.h) with probability corrupt_prob; a frame
+//                  the codec rejects counts as lost, with the typed
+//                  WireError recorded in the flight recorder — the frame
+//                  CRC32 catches almost all damage, the protocol MAC
+//                  catches the rest;
+//   * latency:     time-on-air of the packed wire frame (channel::LoRaPhy)
 //                  plus a fixed processing delay;
 //   * reordering:  extra uniform delay in [0, reorder_window_ms] with
 //                  probability reorder_prob, letting later frames overtake;
@@ -50,7 +53,7 @@ struct LinkStats {
   std::size_t delivered = 0;  ///< frames that reached the far endpoint
   std::size_t dropped = 0;    ///< lost to the drop fault
   std::size_t corrupted = 0;  ///< frames with injected bit errors
-  std::size_t crc_lost = 0;   ///< corrupted beyond parsing (radio CRC drop)
+  std::size_t crc_lost = 0;   ///< corrupted frames the wire codec rejected
   std::size_t duplicated = 0;
   std::size_t reordered = 0;
 };

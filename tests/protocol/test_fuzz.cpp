@@ -10,6 +10,7 @@
 #include "protocol/flight_recorder.h"
 #include "protocol/message.h"
 #include "protocol/session.h"
+#include "protocol/wire.h"
 
 namespace vkey::protocol {
 namespace {
@@ -77,6 +78,88 @@ TEST(Fuzz, HugeLengthFieldsDoNotAllocate) {
   for (int i = 0; i < 7; ++i) bytes.push_back(0);
   bytes.push_back(0xff);  // one byte of "payload"
   EXPECT_FALSE(deserialize(bytes).has_value());
+}
+
+// --------------------------------------------------------- frame codec fuzz
+//
+// 100k seeded mutations of valid wire frames (bit flips, truncations,
+// length-field rewrites, version skew, pure garbage). Invariants, checked
+// under the sanitizer presets in CI: the decoder never crashes or reads out
+// of bounds, every rejection carries a typed WireError, and everything it
+// accepts re-encodes byte-for-byte.
+
+TEST(Fuzz, HundredThousandMutatedFramesRejectTypedOrRoundTrip) {
+  // Corpus: one valid frame per message type, with varying payload shapes.
+  std::vector<std::vector<std::uint8_t>> corpus;
+  for (std::uint8_t t = 1; t <= kMaxMessageType; ++t) {
+    Message m;
+    m.type = static_cast<MessageType>(t);
+    m.session_id = 0x1020304050607080ULL + t;
+    m.nonce = t * 13u;
+    m.payload.assign(static_cast<std::size_t>(t) * 7u, t);
+    if (t % 2 == 0) m.mac.assign(32, static_cast<std::uint8_t>(0xc0 + t));
+    corpus.push_back(wire::encode_frame(m));
+  }
+
+  constexpr int kCases = 100'000;
+  vkey::Rng rng(0xf4a3e5);
+  int accepted = 0;
+  std::size_t reject_reasons[16] = {};
+  for (int trial = 0; trial < kCases; ++trial) {
+    auto bytes = corpus[rng.uniform_int(corpus.size())];
+    switch (rng.uniform_int(5)) {
+      case 0:  // 1..8 bit flips anywhere in the frame
+        for (std::uint64_t f = 0, n = 1 + rng.uniform_int(8); f < n; ++f) {
+          bytes[rng.uniform_int(bytes.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.uniform_int(8));
+        }
+        break;
+      case 1:  // truncate (or keep whole, exercising the accept path)
+        bytes.resize(rng.uniform_int(bytes.size() + 1));
+        break;
+      case 2:  // rewrite the length fields
+        bytes[3] = static_cast<std::uint8_t>(rng.uniform_int(256));
+        bytes[4] = static_cast<std::uint8_t>(rng.uniform_int(256));
+        bytes[5] = static_cast<std::uint8_t>(rng.uniform_int(256));
+        break;
+      case 3:  // version skew (and occasionally magic damage)
+        bytes[2] = static_cast<std::uint8_t>(rng.uniform_int(256));
+        if (rng.bernoulli(0.3)) {
+          bytes[rng.uniform_int(2)] =
+              static_cast<std::uint8_t>(rng.uniform_int(256));
+        }
+        break;
+      default:  // pure garbage of arbitrary small size
+        bytes.resize(rng.uniform_int(96));
+        for (auto& b : bytes) {
+          b = static_cast<std::uint8_t>(rng.uniform_int(256));
+        }
+        break;
+    }
+
+    wire::WireError err = wire::WireError::kNone;
+    const auto frame = wire::decode_frame(bytes, &err);
+    if (frame.has_value()) {
+      ++accepted;
+      ASSERT_EQ(err, wire::WireError::kNone) << "trial " << trial;
+      ASSERT_EQ(wire::encode_frame(*frame), bytes) << "trial " << trial;
+    } else {
+      // Every rejection must be typed — kNone on a failed decode would mean
+      // an untracked reject path.
+      ASSERT_NE(err, wire::WireError::kNone) << "trial " << trial;
+      ++reject_reasons[static_cast<std::size_t>(err)];
+    }
+  }
+
+  // The mutation mix must have exercised both outcomes and the full reject
+  // taxonomy's structural core (truncated / magic / version / lengths / crc).
+  EXPECT_GT(accepted, 0);
+  EXPECT_GT(reject_reasons[size_t(wire::WireError::kTruncated)], 0u);
+  EXPECT_GT(reject_reasons[size_t(wire::WireError::kBadMagic)], 0u);
+  EXPECT_GT(reject_reasons[size_t(wire::WireError::kBadVersion)], 0u);
+  EXPECT_GT(reject_reasons[size_t(wire::WireError::kOversizedPayload)], 0u);
+  EXPECT_GT(reject_reasons[size_t(wire::WireError::kOversizedMac)], 0u);
+  EXPECT_GT(reject_reasons[size_t(wire::WireError::kBadCrc)], 0u);
 }
 
 // ------------------------------------------------- session interleaving fuzz

@@ -1,0 +1,334 @@
+#include "protocol/key_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "protocol/channel.h"
+#include "protocol/sim_clock.h"
+#include "protocol/unreliable_channel.h"
+
+namespace vkey::protocol {
+namespace {
+
+BitVec test_secret(std::uint64_t seed = 0x5ec0de) {
+  vkey::Rng rng(seed);
+  BitVec key(128);
+  for (std::size_t i = 0; i < key.size(); ++i) key.set(i, rng.bernoulli(0.5));
+  return key;
+}
+
+constexpr std::uint64_t kSession = 0xABCDEF01;
+
+KeySchedule::Policy fast_policy() {
+  KeySchedule::Policy p;
+  p.rekey_interval_ms = 1000.0;
+  p.grace_ms = 200.0;
+  return p;
+}
+
+channel::LoRaParams fast_radio() {
+  channel::LoRaParams p;
+  p.spreading_factor = 7;  // keep virtual airtimes small in tests
+  return p;
+}
+
+// ------------------------------------------------------------- derivation
+
+TEST(KeyScheduleDerive, BothPartiesDeriveIdenticalEpochKeys) {
+  const auto secret = test_secret().to_bytes();
+  const EpochKeys a = derive_epoch_keys(secret, kSession, 0);
+  const EpochKeys b = derive_epoch_keys(secret, kSession, 0);
+  EXPECT_EQ(a.a2b.enc, b.a2b.enc);
+  EXPECT_EQ(a.a2b.mac, b.a2b.mac);
+  EXPECT_EQ(a.a2b.nonce_base, b.a2b.nonce_base);
+  EXPECT_EQ(a.b2a.enc, b.b2a.enc);
+  EXPECT_EQ(a.confirm, b.confirm);
+}
+
+TEST(KeyScheduleDerive, DirectionsAndPurposesAreIndependent) {
+  const auto secret = test_secret().to_bytes();
+  const EpochKeys keys = derive_epoch_keys(secret, kSession, 0);
+  EXPECT_NE(keys.a2b.enc, keys.b2a.enc);
+  EXPECT_NE(keys.a2b.mac, keys.b2a.mac);
+  EXPECT_NE(keys.a2b.nonce_base, keys.b2a.nonce_base);
+  EXPECT_NE(keys.a2b.mac, keys.confirm);
+  // The 16-byte enc key must not be a prefix of the 32-byte mac key.
+  EXPECT_NE(std::vector<std::uint8_t>(keys.a2b.mac.begin(),
+                                      keys.a2b.mac.begin() + 16),
+            std::vector<std::uint8_t>(keys.a2b.enc.begin(),
+                                      keys.a2b.enc.end()));
+}
+
+TEST(KeyScheduleDerive, EpochsSessionsAndSecretsSeparateKeys) {
+  const auto secret = test_secret().to_bytes();
+  const EpochKeys e0 = derive_epoch_keys(secret, kSession, 0);
+  EXPECT_NE(e0.a2b.enc, derive_epoch_keys(secret, kSession, 1).a2b.enc);
+  EXPECT_NE(e0.a2b.enc, derive_epoch_keys(secret, kSession + 1, 0).a2b.enc);
+  const auto other = test_secret(0x0ddba11).to_bytes();
+  EXPECT_NE(e0.a2b.enc, derive_epoch_keys(other, kSession, 0).a2b.enc);
+}
+
+TEST(KeyScheduleDerive, RatchetIsDeterministicAndOneWayLooking) {
+  const auto secret = test_secret().to_bytes();
+  const auto next = ratchet_secret(secret, kSession, 1);
+  EXPECT_EQ(next, ratchet_secret(secret, kSession, 1));
+  EXPECT_EQ(next.size(), 32u);
+  EXPECT_NE(next, secret);
+  EXPECT_NE(ratchet_secret(secret, kSession, 2), next);
+}
+
+// ------------------------------------------------------------- seal / open
+
+TEST(KeySchedule, SealOpenRoundTripsAcrossRoles) {
+  KeySchedule alice(test_secret(), kSession, KeySchedule::Role::kInitiator);
+  KeySchedule bob(test_secret(), kSession, KeySchedule::Role::kResponder);
+  const std::vector<std::uint8_t> plain{'h', 'e', 'l', 'l', 'o'};
+
+  const Message a2b = alice.seal(1, plain);
+  EXPECT_EQ(a2b.type, MessageType::kData);
+  const auto at_bob = bob.open(a2b, 0.0);
+  ASSERT_TRUE(at_bob.has_value());
+  EXPECT_EQ(*at_bob, plain);
+
+  const Message b2a = bob.seal(2, plain);
+  const auto at_alice = alice.open(b2a, 0.0);
+  ASSERT_TRUE(at_alice.has_value());
+  EXPECT_EQ(*at_alice, plain);
+  EXPECT_EQ(alice.stats().opened, 1u);
+  EXPECT_EQ(bob.stats().opened, 1u);
+}
+
+TEST(KeySchedule, ReflectedFramesDoNotAuthenticate) {
+  KeySchedule alice(test_secret(), kSession, KeySchedule::Role::kInitiator);
+  const Message sealed = alice.seal(1, {1, 2, 3});
+  // Alice's own frame bounced back at her: wrong direction keys.
+  EXPECT_FALSE(alice.open(sealed, 0.0).has_value());
+  EXPECT_EQ(alice.stats().mac_rejects, 1u);
+}
+
+TEST(KeySchedule, TamperedCiphertextEpochOrNonceIsRejected) {
+  KeySchedule alice(test_secret(), kSession, KeySchedule::Role::kInitiator);
+  KeySchedule bob(test_secret(), kSession, KeySchedule::Role::kResponder);
+
+  Message tampered = alice.seal(1, {1, 2, 3, 4});
+  tampered.payload.back() ^= 0x01;
+  EXPECT_FALSE(bob.open(tampered, 0.0).has_value());
+
+  tampered = alice.seal(2, {1, 2, 3, 4});
+  tampered.payload[3] ^= 0x01;  // epoch prefix
+  EXPECT_FALSE(bob.open(tampered, 0.0).has_value());
+
+  tampered = alice.seal(3, {1, 2, 3, 4});
+  tampered.nonce ^= 1;  // the MAC binds the header too
+  EXPECT_FALSE(bob.open(tampered, 0.0).has_value());
+
+  Message short_frame = alice.seal(4, {});
+  short_frame.payload.resize(2);  // shorter than the epoch prefix
+  EXPECT_FALSE(bob.open(short_frame, 0.0).has_value());
+  EXPECT_EQ(bob.stats().malformed, 1u);
+  EXPECT_EQ(bob.stats().mac_rejects, 3u);
+}
+
+// ------------------------------------------------------------------ rekey
+
+TEST(KeySchedule, RekeyAdvancesEpochAndChangesKeys) {
+  KeySchedule alice(test_secret(), kSession, KeySchedule::Role::kInitiator,
+                    fast_policy());
+  const auto before = alice.keys().a2b.enc;
+  EXPECT_FALSE(alice.rekey_due(999.0));
+  EXPECT_TRUE(alice.rekey_due(1000.0));
+  alice.rekey(1000.0);
+  EXPECT_EQ(alice.epoch(), 1u);
+  EXPECT_NE(alice.keys().a2b.enc, before);
+  EXPECT_EQ(alice.stats().rekeys, 1u);
+}
+
+TEST(KeySchedule, GraceWindowKeepsTheOldEpochOpenableThenExpires) {
+  KeySchedule alice(test_secret(), kSession, KeySchedule::Role::kInitiator,
+                    fast_policy());
+  KeySchedule bob(test_secret(), kSession, KeySchedule::Role::kResponder,
+                  fast_policy());
+  // Frame sealed under epoch 0, delivered after Bob rekeyed to epoch 1.
+  const Message in_flight = alice.seal(1, {0xaa});
+  bob.rekey(1000.0);
+  const auto within_grace = bob.open(in_flight, 1100.0);
+  ASSERT_TRUE(within_grace.has_value());
+  EXPECT_EQ(bob.stats().grace_opens, 1u);
+
+  const Message too_late = alice.seal(2, {0xbb});
+  EXPECT_FALSE(bob.open(too_late, 1300.0).has_value());  // grace 200 ms over
+  EXPECT_EQ(bob.stats().epoch_rejects, 1u);
+}
+
+TEST(KeySchedule, PeerThatRekeyedFirstIsAdoptedAfterAuthentication) {
+  KeySchedule alice(test_secret(), kSession, KeySchedule::Role::kInitiator,
+                    fast_policy());
+  KeySchedule bob(test_secret(), kSession, KeySchedule::Role::kResponder,
+                  fast_policy());
+  alice.rekey(1000.0);  // Alice is at epoch 1, Bob still at 0
+  const Message from_next = alice.seal(5, {1, 2, 3});
+  const auto plain = bob.open(from_next, 1050.0);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(bob.epoch(), 1u);  // fast-forwarded
+  EXPECT_EQ(bob.stats().fast_forwards, 1u);
+  // And the direction back now works under the shared epoch 1.
+  EXPECT_TRUE(alice.open(bob.seal(6, {4, 5}), 1060.0).has_value());
+}
+
+TEST(KeySchedule, ForgedEpochNumberCannotWedgeTheSchedule) {
+  KeySchedule bob(test_secret(), kSession, KeySchedule::Role::kResponder,
+                  fast_policy());
+  // Attacker claims epoch 1 without the keys: MAC fails under the candidate
+  // and Bob must NOT move off epoch 0.
+  Message forged;
+  forged.type = MessageType::kData;
+  forged.session_id = kSession;
+  forged.nonce = 1;
+  forged.payload = {0, 0, 0, 1, 0xde, 0xad};
+  forged.mac.assign(32, 0x42);
+  EXPECT_FALSE(bob.open(forged, 0.0).has_value());
+  EXPECT_EQ(bob.epoch(), 0u);
+  EXPECT_EQ(bob.stats().mac_rejects, 1u);
+
+  // Epochs further than one ahead are rejected outright.
+  forged.payload = {0, 0, 0, 5, 0xde, 0xad};
+  EXPECT_FALSE(bob.open(forged, 0.0).has_value());
+  EXPECT_EQ(bob.stats().epoch_rejects, 1u);
+}
+
+// ----------------------------------------------------------- confirmation
+
+TEST(KeySchedule, ConfirmRoundTripVerifiesAndRejectsReflection) {
+  KeySchedule alice(test_secret(), kSession, KeySchedule::Role::kInitiator);
+  KeySchedule bob(test_secret(), kSession, KeySchedule::Role::kResponder);
+
+  const Message confirm = alice.make_confirm(1);
+  EXPECT_EQ(confirm.type, MessageType::kKeyConfirm);
+  EXPECT_TRUE(bob.verify_confirm(confirm));
+  // Reflection: Alice must not accept her own confirm as the peer's.
+  EXPECT_FALSE(alice.verify_confirm(confirm));
+
+  const Message ack = bob.make_confirm(2);
+  EXPECT_EQ(ack.type, MessageType::kKeyConfirmAck);
+  EXPECT_TRUE(alice.verify_confirm(ack));
+  EXPECT_FALSE(bob.verify_confirm(ack));
+}
+
+TEST(KeySchedule, ConfirmBindsEpochSessionAndTag) {
+  KeySchedule alice(test_secret(), kSession, KeySchedule::Role::kInitiator);
+  KeySchedule bob(test_secret(), kSession, KeySchedule::Role::kResponder);
+
+  Message tampered = alice.make_confirm(1);
+  tampered.mac[5] ^= 0x01;
+  EXPECT_FALSE(bob.verify_confirm(tampered));
+
+  tampered = alice.make_confirm(2);
+  tampered.payload[3] = 9;  // claim a different epoch
+  EXPECT_FALSE(bob.verify_confirm(tampered));
+
+  // A confirm from a different secret never verifies.
+  KeySchedule mallory(test_secret(0xbad), kSession,
+                      KeySchedule::Role::kInitiator);
+  EXPECT_FALSE(bob.verify_confirm(mallory.make_confirm(3)));
+
+  // After Bob rekeys, an old-epoch confirm is stale.
+  bob.rekey(1000.0);
+  EXPECT_FALSE(bob.verify_confirm(alice.make_confirm(4)));
+}
+
+// ------------------------------------------------------------- rekey timer
+
+TEST(RekeyTimerTest, FiresOnScheduleAndAnnouncesEpochs) {
+  SimClock clock;
+  KeySchedule alice(test_secret(), kSession, KeySchedule::Role::kInitiator,
+                    fast_policy());
+  std::vector<std::uint32_t> announced;
+  RekeyTimer timer(clock, alice,
+                   [&](std::uint32_t epoch) { announced.push_back(epoch); });
+  timer.start();
+  clock.run_until(3500.0);
+  EXPECT_EQ(alice.epoch(), 3u);
+  EXPECT_EQ(announced, (std::vector<std::uint32_t>{1, 2, 3}));
+  timer.stop();
+  clock.run_until(10'000.0);
+  EXPECT_EQ(alice.epoch(), 3u);  // stopped timers stay stopped
+}
+
+TEST(RekeyTimerTest, PeerFastForwardDefersTheNextScheduledRekey) {
+  SimClock clock;
+  KeySchedule alice(test_secret(), kSession, KeySchedule::Role::kInitiator,
+                    fast_policy());
+  KeySchedule bob(test_secret(), kSession, KeySchedule::Role::kResponder,
+                  fast_policy());
+  RekeyTimer timer(clock, bob, {});
+  timer.start();
+
+  // At t=600 Alice rekeys (e.g. her own timer elsewhere) and her epoch-1
+  // frame fast-forwards Bob. Bob's timer fires at t=1000, sees the rekey is
+  // not due, and re-arms for t=1600 instead of double-advancing.
+  clock.run_until(600.0);
+  alice.rekey(600.0);
+  ASSERT_TRUE(bob.open(alice.seal(1, {1}), clock.now_ms()).has_value());
+  EXPECT_EQ(bob.epoch(), 1u);
+
+  clock.run_until(1100.0);
+  EXPECT_EQ(bob.epoch(), 1u);  // the t=1000 firing did not rekey
+  clock.run_until(1700.0);
+  EXPECT_EQ(bob.epoch(), 2u);  // the deferred firing did
+}
+
+// ------------------------------------- confirmation over the faulty link
+
+TEST(KeyConfirmation, RoundTripSucceedsOnACleanLink) {
+  SimClock clock;
+  PublicChannel base;
+  FaultConfig faults;  // fault-free
+  UnreliableChannel link(clock, base, faults, fast_radio());
+  KeySchedule alice(test_secret(), kSession, KeySchedule::Role::kInitiator);
+  KeySchedule bob(test_secret(), kSession, KeySchedule::Role::kResponder);
+
+  const auto report = run_key_confirmation(clock, link, alice, bob);
+  EXPECT_TRUE(report.confirmed);
+  EXPECT_EQ(report.transmissions, 1u);
+  EXPECT_GT(report.duration_ms, 0.0);
+}
+
+TEST(KeyConfirmation, RetransmissionsSurviveALossyLink) {
+  // 40% drop + 10% corruption: with 8 transmissions the round trip still
+  // completes for every seed below (deterministic — fixed seeds).
+  int confirmed = 0;
+  std::size_t retransmissions = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    SimClock clock;
+    PublicChannel base;
+    FaultConfig faults;
+    faults.drop_prob = 0.4;
+    faults.corrupt_prob = 0.1;
+    faults.seed = seed;
+    UnreliableChannel link(clock, base, faults, fast_radio());
+    KeySchedule alice(test_secret(), kSession,
+                      KeySchedule::Role::kInitiator);
+    KeySchedule bob(test_secret(), kSession, KeySchedule::Role::kResponder);
+    const auto report = run_key_confirmation(clock, link, alice, bob);
+    if (report.confirmed) ++confirmed;
+    retransmissions += report.transmissions - 1;
+  }
+  EXPECT_GE(confirmed, 18);      // a 0.4-drop link is survivable
+  EXPECT_GT(retransmissions, 0u);  // and the retry path was exercised
+}
+
+TEST(KeyConfirmation, MismatchedSecretsNeverConfirm) {
+  SimClock clock;
+  PublicChannel base;
+  FaultConfig faults;
+  UnreliableChannel link(clock, base, faults, fast_radio());
+  KeySchedule alice(test_secret(0xa), kSession,
+                    KeySchedule::Role::kInitiator);
+  KeySchedule bob(test_secret(0xb), kSession, KeySchedule::Role::kResponder);
+  const auto report = run_key_confirmation(clock, link, alice, bob, 4);
+  EXPECT_FALSE(report.confirmed);
+  EXPECT_EQ(report.transmissions, 4u);  // exhausted the budget
+}
+
+}  // namespace
+}  // namespace vkey::protocol

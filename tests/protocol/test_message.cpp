@@ -69,6 +69,75 @@ TEST(Message, MacInputExcludesMac) {
   EXPECT_NE(mac_input(a), mac_input(b));
 }
 
+namespace {
+void put_u64_be(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (56 - 8 * i)));
+  }
+}
+
+// Raw serialized bytes with arbitrary (possibly forged) length fields,
+// backed by `payload_backing` / `mac_backing` actual bytes.
+std::vector<std::uint8_t> forged_frame(std::uint64_t payload_len,
+                                       std::size_t payload_backing,
+                                       std::uint64_t mac_len,
+                                       std::size_t mac_backing) {
+  std::vector<std::uint8_t> bytes;
+  bytes.push_back(static_cast<std::uint8_t>(MessageType::kData));
+  put_u64_be(bytes, 1);  // session
+  put_u64_be(bytes, 2);  // nonce
+  put_u64_be(bytes, payload_len);
+  bytes.insert(bytes.end(), payload_backing, 0xab);
+  put_u64_be(bytes, mac_len);
+  bytes.insert(bytes.end(), mac_backing, 0xcd);
+  return bytes;
+}
+}  // namespace
+
+TEST(Message, AcceptsTheMaximumBoundedSizes) {
+  Message m;
+  m.type = MessageType::kData;
+  m.session_id = 1;
+  m.nonce = 2;
+  m.payload.assign(kMaxPayloadBytes, 0x5a);
+  m.mac.assign(kMaxMacBytes, 0xa5);
+  const auto back = deserialize(serialize(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, m);
+}
+
+TEST(Message, RejectsOversizedPayloadClaimEvenWhenFullyBacked) {
+  // One byte past the policy bound, with the buffer genuinely holding that
+  // many bytes: the *bound* must reject it, not the buffer check.
+  const auto bytes =
+      forged_frame(kMaxPayloadBytes + 1, kMaxPayloadBytes + 1, 0, 0);
+  EXPECT_FALSE(deserialize(bytes).has_value());
+}
+
+TEST(Message, RejectsOversizedMacClaimEvenWhenFullyBacked) {
+  const auto bytes = forged_frame(4, 4, kMaxMacBytes + 1, kMaxMacBytes + 1);
+  EXPECT_FALSE(deserialize(bytes).has_value());
+}
+
+TEST(Message, RejectsWraparoundLengthPrefixes) {
+  // payload_len near 2^64: `offset + len` wraps around zero, so a naive
+  // `off + len > size` check would pass and then overrun the buffer. The
+  // parser must compare against the remaining bytes without the addition.
+  for (const std::uint64_t evil :
+       {~0ULL, ~0ULL - 7, ~0ULL - 24, 1ULL << 63}) {
+    EXPECT_FALSE(deserialize(forged_frame(evil, 8, 0, 0)).has_value())
+        << "payload_len " << evil;
+    EXPECT_FALSE(deserialize(forged_frame(4, 4, evil, 8)).has_value())
+        << "mac_len " << evil;
+  }
+}
+
+TEST(Message, RejectsLengthPrefixOverrunningTheBuffer) {
+  // In-bounds length claims that still exceed what the buffer holds.
+  EXPECT_FALSE(deserialize(forged_frame(16, 8, 0, 0)).has_value());
+  EXPECT_FALSE(deserialize(forged_frame(4, 4, 32, 16)).has_value());
+}
+
 TEST(Message, PackUnpackDoubles) {
   const std::vector<double> v{1.5, -2.25, 3.125, 0.0};
   EXPECT_EQ(unpack_doubles(pack_doubles(v)), v);

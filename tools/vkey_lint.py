@@ -37,6 +37,15 @@ raw-thread
     Tests, benches, examples and tools drive the library from outside and
     may spawn threads.
 
+bounded-reader
+    No raw byte parsing in the protocol layer (`src/protocol/`): no
+    `reinterpret_cast` and no `.data() + offset` pointer arithmetic. Wire
+    bytes are parsed exclusively through the bounds-checked
+    `wire::FrameReader` / built through `wire::FrameWriter`; hand-rolled
+    pointer walks are how length-field bugs become buffer overruns. The
+    codec itself (`src/protocol/wire.*`) is the single sanctioned owner of
+    raw byte access.
+
 pragma-once
     Every header's first preprocessor directive must be `#pragma once`.
 
@@ -74,6 +83,18 @@ ALLOWLIST = {
             "worker threads; everything else borrows lanes via parallel_for"
         ),
     },
+    "src/protocol/wire.h": {
+        "bounded-reader": (
+            "the frame codec is the single sanctioned owner of raw wire "
+            "bytes; everything else parses through FrameReader"
+        ),
+    },
+    "src/protocol/wire.cpp": {
+        "bounded-reader": (
+            "the frame codec is the single sanctioned owner of raw wire "
+            "bytes; everything else parses through FrameReader"
+        ),
+    },
 }
 
 # Directories exempt from a rule wholesale.
@@ -106,6 +127,15 @@ RANDOM_PATTERNS = [
 # `std::thread` / `std::jthread` as a type, but not qualified statics such
 # as `std::thread::hardware_concurrency()`.
 RAW_THREAD_PATTERN = re.compile(r"std\s*::\s*j?thread\b(?!\s*::)")
+
+# Raw byte access in protocol code: type-punning casts and pointer
+# arithmetic off a buffer's .data(). Scoped to src/protocol/ (see
+# BOUNDED_READER_SCOPE); the wire codec is allowlisted.
+BOUNDED_READER_PATTERNS = [
+    re.compile(r"(?<![\w:])reinterpret_cast\s*<"),
+    re.compile(r"\.data\s*\(\s*\)\s*\+"),
+]
+BOUNDED_READER_SCOPE = "src/protocol/"
 
 IOSTREAM_PATTERN = re.compile(r"#\s*include\s*<iostream>")
 USING_NAMESPACE_PATTERN = re.compile(r"(?<![\w:])using\s+namespace\s+[\w:]+")
@@ -204,6 +234,14 @@ def scan_file(path, rel, explain):
                   "raw std::thread in a library target; fan out through "
                   "parallel::parallel_for (common/parallel) so the "
                   "determinism contract holds")
+        if rel.startswith(BOUNDED_READER_SCOPE):
+            for pat in BOUNDED_READER_PATTERNS:
+                if pat.search(code):
+                    check("bounded-reader", i, raw,
+                          "raw byte access in protocol code; parse wire "
+                          "bytes through wire::FrameReader (bounds-checked) "
+                          "instead of casts/pointer arithmetic")
+                    break
         if IOSTREAM_PATTERN.search(code):
             check("iostream-in-lib", i, raw,
                   "<iostream> in a library target; report via metrics/"
