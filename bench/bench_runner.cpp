@@ -66,6 +66,7 @@ const BenchSpec kBenches[] = {
     {"tab2_nist", true},
     {"ablation", true},
     {"robustness", true},
+    {"gateway", true},
     {"tab3_runtime", false},
 };
 

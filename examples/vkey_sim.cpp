@@ -29,6 +29,15 @@
 // Out-of-range probabilities are clamped into [0, 1] (drop into [0, 1))
 // with a warning on stderr.
 //
+// Gateway mode:
+//   --gateway N            after the pipeline run, drive N concurrent
+//                          device sessions through the shared-clock
+//                          GatewayEngine (admission control, rekey, idle
+//                          eviction) using the pipeline's reconciler and
+//                          evaluation blocks as probe material; the fault
+//                          flags above shape every session's link
+//   --max-inflight N       gateway establishment slots       default 256
+//
 // Observability:
 //   --metrics              dump the metrics registry (counters, gauges,
 //                          stage timers) after the run
@@ -40,8 +49,9 @@
 //                          byte-identical across --threads values
 //   --threads N            worker lanes for the parallel pipeline stages
 //                          (N=1 is the bit-exact sequential reference)
-// When the reliable-link phase fails a block, the first failed session's
-// flight-recorder timeline is printed for post-mortem.
+// When the reliable-link phase fails blocks, up to three failed sessions'
+// flight-recorder timelines are printed for post-mortem (then "N more
+// failed blocks suppressed").
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -55,6 +65,7 @@
 #include "common/table.h"
 #include "common/trace.h"
 #include "core/pipeline.h"
+#include "protocol/gateway.h"
 #include "protocol/reliability.h"
 #include "protocol/wire.h"
 
@@ -71,7 +82,8 @@ namespace {
                "[--test-rounds N] [--hidden N] [--epochs N] "
                "[--decoder-units N] [--seed N] [--no-prediction] "
                "[--drop P] [--reorder P] [--dup P] [--corrupt P] "
-               "[--link-seed N] [--metrics] [--metrics-json PATH] "
+               "[--link-seed N] [--gateway N] [--max-inflight N] "
+               "[--metrics] [--metrics-json PATH] "
                "[--trace-out PATH] [--threads N]\n",
                argv0);
   std::exit(2);
@@ -131,6 +143,8 @@ int main(int argc, char** argv) {
   std::size_t train_rounds = 600, test_rounds = 400;
   protocol::FaultConfig fault;
   bool run_link = false;
+  std::size_t gateway_sessions = 0;
+  std::size_t gateway_inflight = 256;
   bool dump_metrics = false;
   std::string metrics_json_path;
   std::string trace_out_path;
@@ -164,6 +178,8 @@ int main(int argc, char** argv) {
     else if (arg == "--dup") { fault.dup_prob = clamp_prob("--dup", next_double(), 0.0, 1.0); run_link = true; }
     else if (arg == "--corrupt") { fault.corrupt_prob = clamp_prob("--corrupt", next_double(), 0.0, 1.0); run_link = true; }
     else if (arg == "--link-seed") { fault.seed = next_u64(); run_link = true; }
+    else if (arg == "--gateway") { gateway_sessions = static_cast<std::size_t>(next_u64()); if (gateway_sessions == 0) usage(argv[0]); }
+    else if (arg == "--max-inflight") { gateway_inflight = static_cast<std::size_t>(next_u64()); if (gateway_inflight == 0) usage(argv[0]); }
     else if (arg == "--metrics") dump_metrics = true;
     else if (arg == "--metrics-json") metrics_json_path = next();
     else if (arg == "--trace-out") { trace_out_path = next(); trace::TraceLog::global().set_enabled(true); }
@@ -218,7 +234,8 @@ int main(int argc, char** argv) {
 
     std::size_t established = 0, attempts = 0, retransmissions = 0;
     std::size_t frames = 0;
-    bool dumped_failure = false;
+    constexpr std::size_t kMaxFailureDumps = 3;
+    std::size_t failed_blocks = 0, dumps_shown = 0;
     std::vector<double> times;
     std::vector<std::size_t> failures(6, 0);
     for (std::size_t i = 0; i < blocks.size(); ++i) {
@@ -246,17 +263,23 @@ int main(int argc, char** argv) {
         times.push_back(report.time_to_establish_ms);
       } else {
         ++failures[static_cast<std::size_t>(report.failure)];
-        // Post-mortem: print the first failed session's flight-recorder
-        // timeline so the injected fault is visible without re-running.
-        if (!dumped_failure) {
+        ++failed_blocks;
+        // Post-mortem: print failed sessions' flight-recorder timelines so
+        // the injected fault is visible without re-running — bounded, so a
+        // high-loss sweep cannot flood the console.
+        if (dumps_shown < kMaxFailureDumps) {
           const std::string dump = report.failure_dump();
           if (!dump.empty()) {
-            dumped_failure = true;
-            std::printf("\nblock %zu failed; last attempt's timeline:\n%s",
+            ++dumps_shown;
+            std::printf("\nblock %zu failed; recent attempts' timelines:\n%s",
                         i, dump.c_str());
           }
         }
       }
+    }
+    if (failed_blocks > dumps_shown) {
+      std::printf("\n%zu more failed block(s) suppressed\n",
+                  failed_blocks - dumps_shown);
     }
     std::sort(times.begin(), times.end());
     const double median_ms =
@@ -283,6 +306,67 @@ int main(int argc, char** argv) {
                   std::to_string(failures[r])});
     }
     lt.print("reliable key agreement over the lossy link");
+  }
+
+  if (gateway_sessions > 0) {
+    // Gateway mode: N devices arrive at one shared-clock gateway; each
+    // session's link carries the fault flags above, and probe material
+    // cycles through the pipeline's evaluation blocks (pure per device, so
+    // the engine may batch sessions through the parallel pool).
+    const auto& blocks = pipeline.blocks();
+    if (blocks.empty()) {
+      std::printf("\nno evaluation blocks to feed the gateway\n");
+      return 0;
+    }
+    std::printf("\ngateway mode: %zu device sessions, %zu establishment "
+                "slots, drop %.0f%%, corrupt %.0f%%\n",
+                gateway_sessions, gateway_inflight, 100.0 * fault.drop_prob,
+                100.0 * fault.corrupt_prob);
+    protocol::GatewayConfig gcfg;
+    gcfg.sessions = gateway_sessions;
+    gcfg.max_inflight = gateway_inflight;
+    gcfg.reliability.fault = fault;
+    gcfg.seed = hash_combine64(cfg.trace.seed, fault.seed);
+    protocol::GatewayEngine engine(
+        gcfg, pipeline.reconciler(),
+        [&blocks](std::uint64_t device, std::size_t attempt) {
+          const auto& b = blocks[(device + attempt) % blocks.size()];
+          return std::make_pair(b.alice_raw, b.bob_key);
+        });
+    const auto g = engine.run();
+
+    Table gt({"metric", "value"});
+    gt.add_row({"sessions", std::to_string(g.sessions)});
+    gt.add_row({"established",
+                Table::pct(static_cast<double>(g.established) /
+                           static_cast<double>(g.sessions))});
+    gt.add_row({"keys/s (virtual)", Table::fmt(g.keys_per_vsecond, 1)});
+    gt.add_row({"median time-to-key",
+                Table::fmt(g.median_time_to_key_ms, 1) + " virt ms"});
+    gt.add_row({"p95 time-to-key",
+                Table::fmt(g.p95_time_to_key_ms, 1) + " virt ms"});
+    gt.add_row({"mean queue wait",
+                Table::fmt(g.mean_queue_wait_ms, 1) + " virt ms"});
+    gt.add_row({"bytes / established session",
+                Table::fmt(g.bytes_per_session, 1)});
+    gt.add_row({"rekeys", std::to_string(g.rekeys)});
+    gt.add_row({"evictions (idle / failed)",
+                std::to_string(g.evicted_idle) + " / " +
+                    std::to_string(g.evicted_failed)});
+    gt.add_row({"peak in-flight / queued",
+                std::to_string(g.peak_inflight) + " / " +
+                    std::to_string(g.peak_queued)});
+    gt.add_row({"makespan",
+                Table::fmt(g.makespan_ms / 1000.0, 1) + " virt s"});
+    gt.print("gateway multi-session run");
+
+    for (const auto& dump : g.failure_dumps) {
+      std::printf("\nfailed session post-mortem: %s", dump.c_str());
+    }
+    if (g.failures_suppressed > 0) {
+      std::printf("\n%zu more failed session(s) suppressed\n",
+                  g.failures_suppressed);
+    }
   }
 
   // Register the full wire.reject.* taxonomy before any dump so the CSV /

@@ -20,6 +20,7 @@ constexpr std::size_t kMaxEventsPerAttempt = 200000;
 
 void accumulate(LinkStats& into, const LinkStats& from) {
   into.sent += from.sent;
+  into.bytes_sent += from.bytes_sent;
   into.delivered += from.delivered;
   into.dropped += from.dropped;
   into.corrupted += from.corrupted;
@@ -52,12 +53,26 @@ FailureReason classify_failure(const AliceSession& alice,
 
 }  // namespace
 
-std::string AgreementReport::failure_dump() const {
-  if (established || attempt_log.empty()) return {};
-  const AttemptReport& last = attempt_log.back();
-  if (last.flight.size() == 0) return {};
-  return "attempt " + std::to_string(attempt_log.size()) + " failed (" +
-         to_string(last.failure) + ")\n" + last.flight.dump();
+std::string AgreementReport::failure_dump(std::size_t max_attempts) const {
+  if (established || attempt_log.empty() || max_attempts == 0) return {};
+  // Keep the *most recent* attempts: the last one carries the terminal
+  // failure, earlier ones show whether recovery was converging.
+  const std::size_t first =
+      attempt_log.size() > max_attempts ? attempt_log.size() - max_attempts
+                                        : 0;
+  std::string out;
+  if (first > 0) {
+    out += std::to_string(first) + " earlier attempt(s) suppressed\n";
+  }
+  bool dumped = false;
+  for (std::size_t i = first; i < attempt_log.size(); ++i) {
+    const AttemptReport& att = attempt_log[i];
+    if (att.flight.size() == 0) continue;
+    out += "attempt " + std::to_string(i + 1) + " failed (" +
+           to_string(att.failure) + ")\n" + att.flight.dump();
+    dumped = true;
+  }
+  return dumped ? out : std::string{};
 }
 
 std::string to_string(FailureReason r) {
@@ -74,6 +89,18 @@ std::string to_string(FailureReason r) {
 
 AgreementReport run_reliable_key_agreement(
     PublicChannel& base, const core::AutoencoderReconciler& reconciler,
+    const ReliabilityConfig& config, const ProbeMaterialFn& material) {
+  // Single-session entry point: this agreement IS the whole simulation, so
+  // the supervisor owns a private timeline for it. Multi-session callers go
+  // through the gateway engine, which hands every session a sub-clock.
+  SimClock clock;  // vkey-lint: allow(sim-clock-owner)
+  return run_reliable_key_agreement_on(clock, base, reconciler, config,
+                                       material);
+}
+
+AgreementReport run_reliable_key_agreement_on(
+    SimClock& clock, PublicChannel& base,
+    const core::AutoencoderReconciler& reconciler,
     const ReliabilityConfig& config, const ProbeMaterialFn& material) {
   VKEY_REQUIRE(config.max_session_attempts >= 1, "need at least one attempt");
   AgreementReport report;
@@ -99,7 +126,10 @@ AgreementReport run_reliable_key_agreement(
     AliceSession alice(scfg, reconciler, std::move(alice_raw));
     BobSession bob(scfg, reconciler, std::move(bob_raw));
 
-    SimClock clock;
+    // The attempt measures durations relative to the caller's clock: a
+    // gateway sub-clock arrives already advanced to the session's admission
+    // instant, a fresh single-session clock arrives at 0.
+    const double attempt_start_ms = clock.now_ms();
     // Virtual-time span: the timer reads the attempt's SimClock, not the
     // wall clock, so the observed duration is bit-reproducible.
     trace::ScopedTimer attempt_timer(
@@ -190,7 +220,7 @@ AgreementReport run_reliable_key_agreement(
              alice_tx.exhausted() || bob_tx.exhausted();
     };
     while (!terminal() && events < kMaxEventsPerAttempt) {
-      if (clock.now_ms() > config.attempt_timeout_ms) {
+      if (clock.now_ms() - attempt_start_ms > config.attempt_timeout_ms) {
         timed_out = true;
         break;
       }
@@ -204,7 +234,7 @@ AgreementReport run_reliable_key_agreement(
     att.bob_state = bob.state();
     att.alice_reject = alice.last_reject();
     att.bob_reject = bob.last_reject();
-    att.duration_ms = clock.now_ms();
+    att.duration_ms = clock.now_ms() - attempt_start_ms;
     att.alice_transport = alice_tx.stats();
     att.bob_transport = bob_tx.stats();
     att.alice_duplicates_suppressed = alice.duplicates_suppressed();
@@ -222,10 +252,16 @@ AgreementReport run_reliable_key_agreement(
     flight.record(FlightEventKind::kAttemptEnd, "supervisor",
                   att.established ? "established" : to_string(att.failure),
                   scfg.session_id);
-    // The recorder travels with the report; its NowFn points at this
-    // attempt's clock, so detach it before the clock goes out of scope.
+    // The recorder travels with the report; its NowFn points at the
+    // caller's clock, so detach it before the attempt scope closes.
     flight.set_now({});
     att.flight = std::move(flight);
+
+    // Tear down the attempt's residue: un-fired ARQ timers and in-flight
+    // deliveries hold closures over the link, transports and sessions that
+    // die with this scope. The clock is dedicated to this agreement, so
+    // clearing cannot hit anyone else's events.
+    clock.clear();
 
     report.time_to_establish_ms += att.duration_ms;
     report.wire_frames += link.stats().sent;

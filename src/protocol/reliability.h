@@ -89,10 +89,14 @@ struct AgreementReport {
   std::vector<AttemptReport> attempt_log;
   BitVec key;  ///< the established 128-bit key; empty on failure
 
-  /// Post-mortem timeline of the failing attempt: the flight-recorder dump
-  /// of the last attempt, prefixed with its FailureReason. Empty when the
-  /// agreement established or nothing was recorded.
-  std::string failure_dump() const;
+  /// Post-mortem timelines of the failing attempts: the flight-recorder
+  /// dump of up to the last `max_attempts` failed attempts (oldest first),
+  /// each prefixed with its FailureReason, with a single "N earlier
+  /// attempt(s) suppressed" line when the log is longer than the cap — a
+  /// gateway draining thousands of sessions must stay debuggable without
+  /// drowning the console. Empty when the agreement established or nothing
+  /// was recorded.
+  std::string failure_dump(std::size_t max_attempts = 3) const;
 
   explicit operator bool() const { return established; }
 };
@@ -108,6 +112,19 @@ using ProbeMaterialFn =
 /// interceptor.
 AgreementReport run_reliable_key_agreement(
     PublicChannel& base, const core::AutoencoderReconciler& reconciler,
+    const ReliabilityConfig& config, const ProbeMaterialFn& material);
+
+/// Same supervisor, but driven by a caller-owned scheduler: the gateway
+/// engine hands every session a dedicated sub-clock so clock construction
+/// stays with the scheduler (the `sim-clock-owner` lint rule). The clock
+/// need not start at 0 — attempt durations and the timeout are measured
+/// relative to the clock's time at entry — but it must be *dedicated* to
+/// this agreement: between attempts the supervisor clears all pending
+/// events (stale ARQ timers reference torn-down transports), which would
+/// destroy unrelated events on a shared queue.
+AgreementReport run_reliable_key_agreement_on(
+    SimClock& clock, PublicChannel& base,
+    const core::AutoencoderReconciler& reconciler,
     const ReliabilityConfig& config, const ProbeMaterialFn& material);
 
 }  // namespace vkey::protocol

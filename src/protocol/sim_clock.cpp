@@ -4,11 +4,22 @@ namespace vkey::protocol {
 
 SimClock::EventId SimClock::schedule(double delay_ms, Callback fn) {
   if (delay_ms < 0.0) delay_ms = 0.0;
+  return schedule_at(now_ms_ + delay_ms, std::move(fn));
+}
+
+SimClock::EventId SimClock::schedule_at(double due_ms, Callback fn) {
+  if (due_ms < now_ms_) due_ms = now_ms_;
   const EventId id = next_id_++;
-  const double due = now_ms_ + delay_ms;
-  queue_.emplace(Key{due, id}, std::move(fn));
-  due_.emplace(id, due);
+  queue_.emplace(Key{due_ms, id}, std::move(fn));
+  due_.emplace(id, due_ms);
   return id;
+}
+
+std::size_t SimClock::clear() {
+  const std::size_t dropped = queue_.size();
+  queue_.clear();
+  due_.clear();
+  return dropped;
 }
 
 bool SimClock::cancel(EventId id) {

@@ -7,6 +7,14 @@
 // order, so two events at the same instant fire FIFO and every run is
 // bit-reproducible. Callbacks may schedule or cancel further events while
 // running — the scheduler snapshots the head entry before invoking it.
+//
+// A SimClock is either a per-agreement sub-scheduler (one RF exchange's ARQ
+// timers and fault-delayed deliveries) or THE shared gateway timeline that
+// drives every session's lifecycle events (arrival, admission, completion,
+// rekey, eviction — see protocol/gateway.h). Ownership of instances inside
+// src/protocol/ is linted: only the gateway scheduler constructs clocks
+// (tools/vkey_lint.py `sim-clock-owner`), so virtual time has a single
+// authority per simulation.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +36,12 @@ class SimClock {
   /// Returns an id usable with cancel().
   EventId schedule(double delay_ms, Callback fn);
 
+  /// Schedule `fn` at the absolute virtual instant `due_ms` (clamped to
+  /// now_ms() when already past). The gateway engine plans lifecycle events
+  /// on the shared timeline in absolute time; relative schedule() is the
+  /// natural form for timeouts.
+  EventId schedule_at(double due_ms, Callback fn);
+
   /// Remove a pending event; returns false when it already ran or was
   /// cancelled (cancelling a dead id is not an error — ARQ timers race
   /// with ACK arrivals by design).
@@ -46,6 +60,18 @@ class SimClock {
   std::size_t run_until_idle(std::size_t max_events = 1u << 20);
 
   std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Virtual due time of the earliest pending event; `fallback` when idle.
+  double next_due_ms(double fallback = 0.0) const noexcept {
+    return queue_.empty() ? fallback : queue_.begin()->first.first;
+  }
+
+  /// Drop every pending event without running it; returns how many were
+  /// discarded. The owner of a torn-down sub-simulation must clear the
+  /// clock before reusing it: stale timer closures reference transports and
+  /// sessions that no longer exist. now_ms() is unchanged — virtual time
+  /// never rewinds.
+  std::size_t clear();
 
  private:
   using Key = std::pair<double, EventId>;  // (due time, insertion order)

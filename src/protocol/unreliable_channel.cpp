@@ -72,6 +72,10 @@ void UnreliableChannel::deliver(Endpoint to, const Message& msg,
 
 void UnreliableChannel::send(Endpoint from, const Message& msg) {
   ++stats_.sent;
+  // Transmit cost in wire bytes: spent whether or not the frame survives
+  // the channel. This is what "steady-state bytes/session" in the gateway
+  // report measures.
+  stats_.bytes_sent += wire::frame_size(msg);
   link_counter("sent").add(1);
   if (recorder_ != nullptr) {
     recorder_->record(FlightEventKind::kFrameTx, endpoint_name(from),

@@ -46,6 +46,19 @@ bounded-reader
     codec itself (`src/protocol/wire.*`) is the single sanctioned owner of
     raw byte access.
 
+sim-clock-owner
+    No private `SimClock` construction in the protocol layer
+    (`src/protocol/`) outside the gateway scheduler. The gateway engine is
+    the clock authority: it owns THE shared lifecycle timeline and
+    constructs the per-session sub-clocks it hands to
+    `run_reliable_key_agreement_on` (DESIGN.md "Gateway engine"). A layer
+    that quietly news up its own clock forks the timeline — its events can
+    never interleave with the rest of the gateway, which is exactly the
+    multi-session bug the shared queue exists to prevent. The
+    single-session convenience wrapper in `reliability.cpp` carries an
+    inline `// vkey-lint: allow(sim-clock-owner)` suppression. Tests,
+    benches and examples construct clocks freely.
+
 pragma-once
     Every header's first preprocessor directive must be `#pragma once`.
 
@@ -95,6 +108,18 @@ ALLOWLIST = {
             "bytes; everything else parses through FrameReader"
         ),
     },
+    "src/protocol/gateway.h": {
+        "sim-clock-owner": (
+            "the gateway engine is the clock authority: it owns the shared "
+            "lifecycle timeline every session's events interleave on"
+        ),
+    },
+    "src/protocol/gateway.cpp": {
+        "sim-clock-owner": (
+            "the gateway scheduler constructs the dedicated per-session "
+            "sub-clocks it hands to run_reliable_key_agreement_on"
+        ),
+    },
 }
 
 # Directories exempt from a rule wholesale.
@@ -136,6 +161,16 @@ BOUNDED_READER_PATTERNS = [
     re.compile(r"\.data\s*\(\s*\)\s*\+"),
 ]
 BOUNDED_READER_SCOPE = "src/protocol/"
+
+# SimClock construction (by value, new, or make_unique/make_shared) in
+# protocol code: only the gateway scheduler may mint timelines. References
+# and parameters (`SimClock&`) pass an existing clock and are fine.
+SIM_CLOCK_OWNER_PATTERNS = [
+    re.compile(r"(?<![\w:])SimClock\s+\w+\s*[;{(=]"),
+    re.compile(r"(?<![\w:])new\s+SimClock\b"),
+    re.compile(r"make_(?:unique|shared)\s*<\s*SimClock\b"),
+]
+SIM_CLOCK_OWNER_SCOPE = "src/protocol/"
 
 IOSTREAM_PATTERN = re.compile(r"#\s*include\s*<iostream>")
 USING_NAMESPACE_PATTERN = re.compile(r"(?<![\w:])using\s+namespace\s+[\w:]+")
@@ -241,6 +276,15 @@ def scan_file(path, rel, explain):
                           "raw byte access in protocol code; parse wire "
                           "bytes through wire::FrameReader (bounds-checked) "
                           "instead of casts/pointer arithmetic")
+                    break
+        if rel.startswith(SIM_CLOCK_OWNER_SCOPE):
+            for pat in SIM_CLOCK_OWNER_PATTERNS:
+                if pat.search(code):
+                    check("sim-clock-owner", i, raw,
+                          "private SimClock construction in protocol code; "
+                          "the gateway engine owns the shared timeline and "
+                          "mints per-session sub-clocks — take a SimClock& "
+                          "from the caller instead")
                     break
         if IOSTREAM_PATTERN.search(code):
             check("iostream-in-lib", i, raw,
