@@ -1,6 +1,7 @@
 #include "core/privacy.h"
 
 #include "common/error.h"
+#include "crypto/secret_buffer.h"
 #include "crypto/sha256.h"
 
 namespace vkey::core {
@@ -14,25 +15,29 @@ PrivacyAmplifier::PrivacyAmplifier(std::size_t out_bits)
 BitVec PrivacyAmplifier::amplify(const BitVec& raw,
                                  std::uint64_t session_salt) const {
   VKEY_REQUIRE(!raw.empty(), "nothing to amplify");
-  crypto::Sha256 h;
-  const auto bytes = raw.to_bytes();
+  crypto::Sha256 h;  // destructor wipes the absorbed key material
+  auto bytes = raw.to_bytes();
   h.update(bytes);
+  crypto::secure_wipe(bytes);
   std::uint8_t salt[8];
   for (int i = 0; i < 8; ++i) {
     salt[i] = static_cast<std::uint8_t>(session_salt >> (56 - 8 * i));
   }
   h.update(salt, sizeof(salt));
-  const auto digest = h.finalize();
-  return BitVec::from_bytes(
+  auto digest = h.finalize();
+  auto out = BitVec::from_bytes(
       std::vector<std::uint8_t>(digest.begin(), digest.end()), out_bits_);
+  crypto::secure_wipe(digest.data(), digest.size());
+  return out;
 }
 
 std::array<std::uint8_t, 16> PrivacyAmplifier::aes_key(
     const BitVec& raw, std::uint64_t session_salt) const {
   VKEY_REQUIRE(out_bits_ == 128, "aes_key requires 128-bit output");
-  const auto bytes = amplify(raw, session_salt).to_bytes();
+  auto bytes = amplify(raw, session_salt).to_bytes();
   std::array<std::uint8_t, 16> key{};
   std::copy(bytes.begin(), bytes.begin() + 16, key.begin());
+  crypto::secure_wipe(bytes);
   return key;
 }
 

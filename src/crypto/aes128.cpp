@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/error.h"
+
 namespace vkey::crypto {
 
 namespace {
@@ -68,7 +70,15 @@ inline std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
 
 }  // namespace
 
-Aes128::Aes128(const std::array<std::uint8_t, kKeySize>& key) {
+Aes128::Aes128(const std::array<std::uint8_t, kKeySize>& key)
+    : Aes128(std::span<const std::uint8_t>(key)) {}
+
+Aes128::Aes128(const SecretBuffer& key) : Aes128(key.expose()) {}
+
+Aes128::~Aes128() { secure_wipe(round_keys_.data(), round_keys_.size()); }
+
+Aes128::Aes128(std::span<const std::uint8_t> key) {
+  VKEY_REQUIRE(key.size() == kKeySize, "AES-128 key must be 16 bytes");
   const auto& sb = boxes().sbox;
   std::memcpy(round_keys_.data(), key.data(), kKeySize);
   std::uint8_t rcon = 1;
@@ -196,6 +206,9 @@ std::vector<std::uint8_t> Aes128::ctr_crypt(
       out[off + i] = data[off + i] ^ keystream[i];
     }
   }
+  // The residual keystream block is key-derived; known keystream bytes
+  // reveal plaintext of any message reusing this (nonce, counter) pair.
+  secure_wipe(keystream, sizeof(keystream));
   return out;
 }
 

@@ -10,7 +10,10 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
+
+#include "crypto/secret_buffer.h"
 
 namespace vkey::crypto {
 
@@ -21,6 +24,22 @@ class Aes128 {
 
   /// Expand the 128-bit key.
   explicit Aes128(const std::array<std::uint8_t, kKeySize>& key);
+
+  /// Expand a borrowed 16-byte key view (must be exactly kKeySize bytes).
+  explicit Aes128(std::span<const std::uint8_t> key);
+
+  /// Expand directly from a managed secret without exposing it at the
+  /// call site.
+  explicit Aes128(const SecretBuffer& key);
+
+  /// The expanded round keys are equivalent to the key itself; they are
+  /// zeroized when the cipher goes out of scope.
+  ~Aes128();
+
+  Aes128(const Aes128&) = default;
+  Aes128& operator=(const Aes128&) = default;
+  Aes128(Aes128&&) = default;
+  Aes128& operator=(Aes128&&) = default;
 
   /// Encrypt / decrypt one 16-byte block in place.
   void encrypt_block(std::uint8_t block[kBlockSize]) const;

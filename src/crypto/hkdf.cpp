@@ -5,46 +5,58 @@
 
 namespace vkey::crypto {
 
-std::vector<std::uint8_t> hkdf_extract(const std::vector<std::uint8_t>& salt,
-                                       const std::vector<std::uint8_t>& ikm) {
-  const std::vector<std::uint8_t> effective_salt =
-      salt.empty() ? std::vector<std::uint8_t>(Sha256::kDigestSize, 0) : salt;
-  const auto prk = hmac_sha256(effective_salt, ikm);
-  return {prk.begin(), prk.end()};
+SecretBuffer hkdf_extract(std::span<const std::uint8_t> salt,
+                          std::span<const std::uint8_t> ikm) {
+  const std::vector<std::uint8_t> zero_salt(
+      salt.empty() ? Sha256::kDigestSize : 0, 0);
+  auto prk = hmac_sha256(
+      salt.empty() ? std::span<const std::uint8_t>(zero_salt) : salt, ikm);
+  auto out = SecretBuffer::copy_of(prk);
+  secure_wipe(prk.data(), prk.size());
+  return out;
 }
 
-std::vector<std::uint8_t> hkdf_expand(const std::vector<std::uint8_t>& prk,
-                                      const std::vector<std::uint8_t>& info,
-                                      std::size_t length) {
+SecretBuffer hkdf_expand(const SecretBuffer& prk,
+                         std::span<const std::uint8_t> info,
+                         std::size_t length) {
   VKEY_REQUIRE(prk.size() >= Sha256::kDigestSize,
                "PRK must be at least one hash block");
   VKEY_REQUIRE(length >= 1 && length <= 255 * Sha256::kDigestSize,
                "HKDF output length out of range");
   std::vector<std::uint8_t> okm;
-  std::vector<std::uint8_t> t;
+  okm.reserve(length + Sha256::kDigestSize);
+  std::vector<std::uint8_t> block;
+  std::size_t t_len = 0;  // bytes of T(i-1) at the front of `block`
   std::uint8_t counter = 1;
   while (okm.size() < length) {
-    std::vector<std::uint8_t> block = t;
+    // block = T(i-1) || info || counter
+    block.resize(t_len);
     block.insert(block.end(), info.begin(), info.end());
     block.push_back(counter++);
-    const auto digest = hmac_sha256(prk, block);
-    t.assign(digest.begin(), digest.end());
-    okm.insert(okm.end(), t.begin(), t.end());
+    auto digest = hmac_sha256(prk, std::span<const std::uint8_t>(block));
+    secure_wipe(block);
+    block.assign(digest.begin(), digest.end());
+    t_len = digest.size();
+    okm.insert(okm.end(), digest.begin(), digest.end());
+    secure_wipe(digest.data(), digest.size());
   }
-  okm.resize(length);
-  return okm;
+  secure_wipe(block);
+  // Trim to the requested length, wiping the overshoot before release.
+  if (okm.size() > length) {
+    secure_wipe(okm.data() + length, okm.size() - length);
+    okm.resize(length);
+  }
+  return SecretBuffer(std::move(okm));
 }
 
-std::vector<std::uint8_t> hkdf(const std::vector<std::uint8_t>& salt,
-                               const std::vector<std::uint8_t>& ikm,
-                               const std::vector<std::uint8_t>& info,
-                               std::size_t length) {
+SecretBuffer hkdf(std::span<const std::uint8_t> salt,
+                  std::span<const std::uint8_t> ikm,
+                  std::span<const std::uint8_t> info, std::size_t length) {
   return hkdf_expand(hkdf_extract(salt, ikm), info, length);
 }
 
-std::vector<std::uint8_t> derive_subkey(
-    const std::vector<std::uint8_t>& session_secret, const std::string& label,
-    std::size_t length) {
+SecretBuffer derive_subkey(std::span<const std::uint8_t> session_secret,
+                           const std::string& label, std::size_t length) {
   const std::vector<std::uint8_t> info(label.begin(), label.end());
   return hkdf({}, session_secret, info, length);
 }

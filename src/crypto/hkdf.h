@@ -5,34 +5,50 @@
 // with group keys, per-purpose subkeys). HKDF's extract-then-expand
 // construction derives any number of cryptographically separated subkeys
 // from the session secret with domain-separating info labels.
+//
+// Everything HKDF touches or returns is key material, so the API speaks
+// SecretBuffer: PRKs and output key material come back zeroizing, and
+// input secrets are taken as SecretBuffer (or a borrowed span for callers
+// that hold the bytes in other wiped storage). Salt and info are public
+// protocol constants and stay plain spans.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
+
+#include "crypto/secret_buffer.h"
 
 namespace vkey::crypto {
 
 /// HKDF-Extract: PRK = HMAC(salt, ikm). An empty salt is replaced by a
 /// zero-filled hash-length block per the RFC.
-std::vector<std::uint8_t> hkdf_extract(const std::vector<std::uint8_t>& salt,
-                                       const std::vector<std::uint8_t>& ikm);
+SecretBuffer hkdf_extract(std::span<const std::uint8_t> salt,
+                          std::span<const std::uint8_t> ikm);
+inline SecretBuffer hkdf_extract(std::span<const std::uint8_t> salt,
+                                 const SecretBuffer& ikm) {
+  return hkdf_extract(salt, ikm.expose());
+}
 
 /// HKDF-Expand: derive `length` bytes (<= 255 * 32) from a pseudorandom key
 /// with the given context/label.
-std::vector<std::uint8_t> hkdf_expand(const std::vector<std::uint8_t>& prk,
-                                      const std::vector<std::uint8_t>& info,
-                                      std::size_t length);
+SecretBuffer hkdf_expand(const SecretBuffer& prk,
+                         std::span<const std::uint8_t> info,
+                         std::size_t length);
 
 /// One-shot extract+expand.
-std::vector<std::uint8_t> hkdf(const std::vector<std::uint8_t>& salt,
-                               const std::vector<std::uint8_t>& ikm,
-                               const std::vector<std::uint8_t>& info,
-                               std::size_t length);
+SecretBuffer hkdf(std::span<const std::uint8_t> salt,
+                  std::span<const std::uint8_t> ikm,
+                  std::span<const std::uint8_t> info, std::size_t length);
 
 /// Convenience: derive a subkey from a session secret with a string label.
-std::vector<std::uint8_t> derive_subkey(
-    const std::vector<std::uint8_t>& session_secret, const std::string& label,
-    std::size_t length);
+SecretBuffer derive_subkey(std::span<const std::uint8_t> session_secret,
+                           const std::string& label, std::size_t length);
+inline SecretBuffer derive_subkey(const SecretBuffer& session_secret,
+                                  const std::string& label,
+                                  std::size_t length) {
+  return derive_subkey(session_secret.expose(), label, length);
+}
 
 }  // namespace vkey::crypto

@@ -3,43 +3,41 @@
 namespace vkey::crypto {
 
 std::array<std::uint8_t, Sha256::kDigestSize> hmac_sha256(
-    const std::vector<std::uint8_t>& key,
-    const std::vector<std::uint8_t>& message) {
+    std::span<const std::uint8_t> key, std::span<const std::uint8_t> message) {
   constexpr std::size_t kBlockSize = 64;
 
-  // Keys longer than the block size are hashed first.
-  std::vector<std::uint8_t> k = key;
-  if (k.size() > kBlockSize) {
-    const auto d = Sha256::digest(k);
-    k.assign(d.begin(), d.end());
+  // Keys longer than the block size are hashed first. `k` and the derived
+  // ipad/opad blocks are key material; all three are wiped before return.
+  std::array<std::uint8_t, kBlockSize> k{};
+  if (key.size() > kBlockSize) {
+    Sha256 h;
+    h.update(key.data(), key.size());
+    auto d = h.finalize();
+    std::copy(d.begin(), d.end(), k.begin());
+    secure_wipe(d.data(), d.size());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
   }
-  k.resize(kBlockSize, 0x00);
 
-  std::vector<std::uint8_t> ipad(kBlockSize), opad(kBlockSize);
+  std::array<std::uint8_t, kBlockSize> ipad{}, opad{};
   for (std::size_t i = 0; i < kBlockSize; ++i) {
     ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
     opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
   }
+  secure_wipe(k.data(), k.size());
 
   Sha256 inner;
-  inner.update(ipad);
-  inner.update(message);
-  const auto inner_digest = inner.finalize();
+  inner.update(ipad.data(), ipad.size());
+  inner.update(message.data(), message.size());
+  auto inner_digest = inner.finalize();
 
   Sha256 outer;
-  outer.update(opad);
+  outer.update(opad.data(), opad.size());
   outer.update(inner_digest.data(), inner_digest.size());
+  secure_wipe(ipad.data(), ipad.size());
+  secure_wipe(opad.data(), opad.size());
+  secure_wipe(inner_digest.data(), inner_digest.size());
   return outer.finalize();
-}
-
-bool constant_time_equal(const std::vector<std::uint8_t>& a,
-                         const std::vector<std::uint8_t>& b) {
-  if (a.size() != b.size()) return false;
-  std::uint8_t acc = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
-  }
-  return acc == 0;
 }
 
 }  // namespace vkey::crypto

@@ -3,23 +3,57 @@
 // The reconciliation exchange appends MAC(K'_Bob, y_Bob) so Alice can detect
 // man-in-the-middle modification (paper Sec. IV-C). Also provides the
 // constant-time tag comparison used at verification.
+//
+// Keys are secrets: the primary entry points take the key as a
+// SecretBuffer or a borrowed span, and the derived ipad/opad blocks are
+// zeroized before return (secure_wipe). The vector overloads remain as
+// shims for non-secret-typed callers.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "crypto/secret_buffer.h"
 #include "crypto/sha256.h"
 
 namespace vkey::crypto {
 
-/// Compute HMAC-SHA256 over `message` with `key`.
+/// Compute HMAC-SHA256 over `message` with `key` (borrowed views; the
+/// internal key-derived scratch is wiped before returning).
 std::array<std::uint8_t, Sha256::kDigestSize> hmac_sha256(
-    const std::vector<std::uint8_t>& key,
-    const std::vector<std::uint8_t>& message);
+    std::span<const std::uint8_t> key, std::span<const std::uint8_t> message);
 
-/// Constant-time equality of two byte strings (length leak only).
-bool constant_time_equal(const std::vector<std::uint8_t>& a,
-                         const std::vector<std::uint8_t>& b);
+/// HMAC under a managed secret key without exposing it at the call site.
+inline std::array<std::uint8_t, Sha256::kDigestSize> hmac_sha256(
+    const SecretBuffer& key, std::span<const std::uint8_t> message) {
+  return hmac_sha256(key.expose(), message);
+}
+
+/// Shim for std::vector callers (both arguments convert to spans).
+inline std::array<std::uint8_t, Sha256::kDigestSize> hmac_sha256(
+    const std::vector<std::uint8_t>& key,
+    const std::vector<std::uint8_t>& message) {
+  return hmac_sha256(std::span<const std::uint8_t>(key),
+                     std::span<const std::uint8_t>(message));
+}
+
+/// Constant-time equality of two byte strings (length leak only). Thin
+/// shim over the span overload in secret_buffer.h, kept for existing
+/// vector callers.
+inline bool constant_time_equal(const std::vector<std::uint8_t>& a,
+                                const std::vector<std::uint8_t>& b) {
+  return constant_time_equal(std::span<const std::uint8_t>(a),
+                             std::span<const std::uint8_t>(b));
+}
+
+/// Constant-time check of a computed tag (array) against a received one.
+inline bool constant_time_equal(
+    const std::vector<std::uint8_t>& received,
+    const std::array<std::uint8_t, Sha256::kDigestSize>& computed) {
+  return constant_time_equal(std::span<const std::uint8_t>(received),
+                             std::span<const std::uint8_t>(computed));
+}
 
 }  // namespace vkey::crypto

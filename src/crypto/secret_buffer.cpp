@@ -1,0 +1,40 @@
+#include "crypto/secret_buffer.h"
+
+#include <cstring>
+
+namespace vkey::crypto {
+
+void secure_wipe(void* p, std::size_t len) noexcept {
+  if (p == nullptr || len == 0) return;
+  std::memset(p, 0, len);
+  // Compiler barrier: tell the optimizer the wiped memory is observed, so
+  // the memset above cannot be dropped as a dead store even when the
+  // storage is freed immediately afterwards. The empty asm consumes the
+  // pointer and clobbers memory, which is exactly the dependency DSE
+  // respects; no code is emitted for it.
+#if defined(__GNUC__) || defined(__clang__)
+  __asm__ __volatile__("" : : "r"(p) : "memory");
+#else
+  // Portable fallback: a volatile write-back of the first byte pins the
+  // whole region's liveness conservatively.
+  *static_cast<volatile std::uint8_t*>(p) =
+      *static_cast<volatile std::uint8_t*>(p);
+#endif
+}
+
+void secure_wipe(std::vector<std::uint8_t>& v) noexcept {
+  secure_wipe(v.data(), v.size());
+  v.clear();
+}
+
+bool constant_time_equal(std::span<const std::uint8_t> a,
+                         std::span<const std::uint8_t> b) noexcept {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  }
+  return acc == 0;
+}
+
+}  // namespace vkey::crypto

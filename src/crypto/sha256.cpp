@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "crypto/secret_buffer.h"
 
 namespace vkey::crypto {
 
@@ -28,6 +29,11 @@ inline std::uint32_t rotr(std::uint32_t x, int n) {
 }  // namespace
 
 Sha256::Sha256() { reset(); }
+
+Sha256::~Sha256() {
+  secure_wipe(state_.data(), state_.size() * sizeof(state_[0]));
+  secure_wipe(buffer_.data(), buffer_.size());
+}
 
 void Sha256::reset() {
   state_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
@@ -78,6 +84,9 @@ void Sha256::process_block(const std::uint8_t* block) {
   state_[5] += f;
   state_[6] += g;
   state_[7] += h;
+  // The message schedule holds an expansion of the input block — key
+  // material when hashing ipad/opad or the amplified secret.
+  secure_wipe(w, sizeof(w));
 }
 
 void Sha256::update(const std::uint8_t* data, std::size_t len) {

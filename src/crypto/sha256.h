@@ -20,6 +20,17 @@ class Sha256 {
 
   Sha256();
 
+  /// Hashers routinely absorb key material (HMAC ipad/opad blocks, the
+  /// amplified secret in privacy amplification); the destructor zeroizes
+  /// the chaining state and the partial-block buffer so a finalized or
+  /// abandoned hasher leaves no key-derived residue on the stack/heap.
+  ~Sha256();
+
+  Sha256(const Sha256&) = default;
+  Sha256& operator=(const Sha256&) = default;
+  Sha256(Sha256&&) = default;
+  Sha256& operator=(Sha256&&) = default;
+
   /// Absorb `len` bytes.
   void update(const std::uint8_t* data, std::size_t len);
   void update(const std::vector<std::uint8_t>& data) {

@@ -1,6 +1,7 @@
 #include "protocol/group.h"
 
 #include "common/error.h"
+#include "crypto/secret_buffer.h"
 
 namespace vkey::protocol {
 
@@ -37,12 +38,16 @@ std::vector<std::pair<std::string, Message>> GroupKeyHub::distribute() {
 
   std::vector<std::pair<std::string, Message>> out;
   out.reserve(members_.size());
-  const auto payload = key.to_bytes();
+  // The serialized group key exists in the clear only for the duration of
+  // the wrap loop; every member receives it sealed under their pairwise
+  // SecureLink.
+  auto payload = key.to_bytes();
   for (const auto& [id, pairwise] : members_) {
     const SecureLink link(pairwise);
     out.emplace_back(id, link.seal(/*session_id=*/epoch_,
                                    /*nonce=*/epoch_, payload));
   }
+  crypto::secure_wipe(payload);
   return out;
 }
 

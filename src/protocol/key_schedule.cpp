@@ -40,9 +40,9 @@ std::vector<std::uint8_t> epoch_salt(std::uint64_t session_id,
   return salt;
 }
 
-std::vector<std::uint8_t> expand_label(const std::vector<std::uint8_t>& prk,
-                                       const std::string& label,
-                                       std::size_t length) {
+crypto::SecretBuffer expand_label(const crypto::SecretBuffer& prk,
+                                  const std::string& label,
+                                  std::size_t length) {
   return crypto::hkdf_expand(
       prk, std::vector<std::uint8_t>(label.begin(), label.end()), length);
 }
@@ -58,20 +58,23 @@ std::uint64_t read_be64(const std::uint8_t* p) {
   return (static_cast<std::uint64_t>(read_be32(p)) << 32) | read_be32(p + 4);
 }
 
-DirectionKeys derive_direction(const std::vector<std::uint8_t>& prk,
+DirectionKeys derive_direction(const crypto::SecretBuffer& prk,
                                const std::string& dir) {
   DirectionKeys keys;
-  const auto enc = expand_label(prk, "vkey v1 " + dir + " enc", 16);
-  std::copy(enc.begin(), enc.end(), keys.enc.begin());
+  keys.enc = expand_label(prk, "vkey v1 " + dir + " enc", 16);
   keys.mac = expand_label(prk, "vkey v1 " + dir + " mac", 32);
+  // The nonce base leaves the secret domain by design: it is XORed into
+  // the CTR counter block, never exposed on the wire, and 8 bytes of OKM
+  // are not key-equivalent for either direction key.
   const auto nonce = expand_label(prk, "vkey v1 " + dir + " nonce", 8);
-  keys.nonce_base = read_be64(nonce.data());
+  keys.nonce_base = read_be64(nonce.expose().data());
   return keys;
 }
 
 /// Tag = HMAC(confirm_key, mac_input(frame) || role byte). mac_input covers
 /// type|session|nonce|payload, so the tag binds the whole confirm frame; the
-/// role byte rules out reflection even if the types were ever unified.
+/// role byte rules out reflection even if the types were ever unified. The
+/// tag itself is public (it rides the frame); only the key is secret.
 std::vector<std::uint8_t> confirm_tag(const EpochKeys& keys,
                                       const Message& msg,
                                       KeySchedule::Role role) {
@@ -83,7 +86,7 @@ std::vector<std::uint8_t> confirm_tag(const EpochKeys& keys,
 
 }  // namespace
 
-EpochKeys derive_epoch_keys(const std::vector<std::uint8_t>& secret,
+EpochKeys derive_epoch_keys(std::span<const std::uint8_t> secret,
                             std::uint64_t session_id, std::uint32_t epoch) {
   const auto prk =
       crypto::hkdf_extract(epoch_salt(session_id, epoch), secret);
@@ -95,9 +98,9 @@ EpochKeys derive_epoch_keys(const std::vector<std::uint8_t>& secret,
   return keys;
 }
 
-std::vector<std::uint8_t> ratchet_secret(
-    const std::vector<std::uint8_t>& secret, std::uint64_t session_id,
-    std::uint32_t next_epoch) {
+crypto::SecretBuffer ratchet_secret(std::span<const std::uint8_t> secret,
+                                    std::uint64_t session_id,
+                                    std::uint32_t next_epoch) {
   VKEY_REQUIRE(next_epoch >= 1, "epoch 0 has no predecessor to ratchet from");
   // Epoch e's PRK (salt carries e = next_epoch - 1) produces epoch e+1's
   // secret, matching the label schedule in the header diagram.
@@ -115,7 +118,7 @@ KeySchedule::KeySchedule(const BitVec& amplified_secret,
     : session_id_(session_id),
       role_(role),
       policy_(policy),
-      secret_(amplified_secret.to_bytes()) {
+      secret_(crypto::SecretBuffer(amplified_secret.to_bytes())) {
   VKEY_REQUIRE(!secret_.empty(), "amplified secret must be non-empty");
   VKEY_REQUIRE(policy_.rekey_interval_ms > 0.0 && policy_.grace_ms >= 0.0,
                "rekey interval must be positive, grace non-negative");
@@ -203,8 +206,7 @@ std::optional<std::vector<std::uint8_t>> KeySchedule::open(const Message& msg,
     EpochKeys candidate = derive_epoch_keys(next_secret, session_id_, epoch);
     const auto tag =
         crypto::hmac_sha256(recv_keys(candidate).mac, mac_input(msg));
-    if (!crypto::constant_time_equal(
-            msg.mac, std::vector<std::uint8_t>(tag.begin(), tag.end()))) {
+    if (!crypto::constant_time_equal(msg.mac, tag)) {
       ++stats_.mac_rejects;
       return std::nullopt;
     }
@@ -225,8 +227,7 @@ std::optional<std::vector<std::uint8_t>> KeySchedule::open(const Message& msg,
   // a single authenticate-then-decrypt sequence for every route.
   const DirectionKeys& rx = recv_keys(*keys);
   const auto tag = crypto::hmac_sha256(rx.mac, mac_input(msg));
-  if (!crypto::constant_time_equal(
-          msg.mac, std::vector<std::uint8_t>(tag.begin(), tag.end()))) {
+  if (!crypto::constant_time_equal(msg.mac, tag)) {
     ++stats_.mac_rejects;
     return std::nullopt;
   }

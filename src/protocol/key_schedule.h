@@ -37,14 +37,15 @@
 // candidate keys, never before.
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/bitvec.h"
+#include "crypto/secret_buffer.h"
 #include "protocol/message.h"
 #include "protocol/sim_clock.h"
 
@@ -52,33 +53,46 @@ namespace vkey::protocol {
 
 class UnreliableChannel;
 
-/// One direction's traffic keys for one epoch.
+/// One direction's traffic keys for one epoch. All key material lives in
+/// zeroizing SecretBuffers (crypto/secret_buffer.h): wiped on destruction,
+/// unstreamable, unserializable — the secret-flow analyzer audits the few
+/// expose() sites instead of every use.
 struct DirectionKeys {
-  std::array<std::uint8_t, 16> enc{};  ///< AES-128-CTR key
-  std::vector<std::uint8_t> mac;       ///< 32-byte HMAC-SHA256 key
-  std::uint64_t nonce_base = 0;        ///< CTR nonce domain separator
+  crypto::SecretBuffer enc;  ///< 16-byte AES-128-CTR key
+  crypto::SecretBuffer mac;  ///< 32-byte HMAC-SHA256 key
+  std::uint64_t nonce_base = 0;  ///< CTR nonce domain separator
 };
 
 /// Everything one epoch derives from its secret.
 struct EpochKeys {
   std::uint32_t epoch = 0;
-  DirectionKeys a2b;              ///< initiator -> responder
-  DirectionKeys b2a;              ///< responder -> initiator
-  std::vector<std::uint8_t> confirm;  ///< 32-byte key-confirmation key
+  DirectionKeys a2b;             ///< initiator -> responder
+  DirectionKeys b2a;             ///< responder -> initiator
+  crypto::SecretBuffer confirm;  ///< 32-byte key-confirmation key
 };
 
 /// Derive the full key set of one epoch from its secret (the HKDF label
 /// schedule in the header comment). Deterministic: both parties derive
 /// identical keys from the agreed secret.
-EpochKeys derive_epoch_keys(const std::vector<std::uint8_t>& secret,
+EpochKeys derive_epoch_keys(std::span<const std::uint8_t> secret,
                             std::uint64_t session_id, std::uint32_t epoch);
+inline EpochKeys derive_epoch_keys(const crypto::SecretBuffer& secret,
+                                   std::uint64_t session_id,
+                                   std::uint32_t epoch) {
+  return derive_epoch_keys(secret.expose(), session_id, epoch);
+}
 
 /// The ratchet: epoch `next_epoch`'s secret from its predecessor's. One-way
 /// (HKDF), so discarding the old secret gives forward secrecy across
 /// rekeys.
-std::vector<std::uint8_t> ratchet_secret(
-    const std::vector<std::uint8_t>& secret, std::uint64_t session_id,
-    std::uint32_t next_epoch);
+crypto::SecretBuffer ratchet_secret(std::span<const std::uint8_t> secret,
+                                    std::uint64_t session_id,
+                                    std::uint32_t next_epoch);
+inline crypto::SecretBuffer ratchet_secret(const crypto::SecretBuffer& secret,
+                                           std::uint64_t session_id,
+                                           std::uint32_t next_epoch) {
+  return ratchet_secret(secret.expose(), session_id, next_epoch);
+}
 
 /// Full key lifecycle state of one endpoint after establishment.
 class KeySchedule {
@@ -160,7 +174,7 @@ class KeySchedule {
   std::uint64_t session_id_;
   Role role_;
   Policy policy_;
-  std::vector<std::uint8_t> secret_;  ///< current epoch's secret
+  crypto::SecretBuffer secret_;  ///< current epoch's secret (zeroizing)
   EpochKeys current_;
   std::optional<EpochKeys> previous_;
   double previous_expires_ms_ = 0.0;

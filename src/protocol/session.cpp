@@ -13,18 +13,23 @@ namespace vkey::protocol {
 namespace {
 
 std::vector<std::uint8_t> hmac_of(const BitVec& key, const Message& msg) {
-  return [&] {
-    const auto tag = crypto::hmac_sha256(key.to_bytes(), mac_input(msg));
-    return std::vector<std::uint8_t>(tag.begin(), tag.end());
-  }();
+  // The serialized key bytes are a transient secret; wipe them as soon as
+  // the compression function has absorbed them. The tag itself is public
+  // (it rides the frame).
+  auto key_bytes = key.to_bytes();
+  auto tag = crypto::hmac_sha256(std::span<const std::uint8_t>(key_bytes),
+                                 mac_input(msg));
+  crypto::secure_wipe(key_bytes);
+  return {tag.begin(), tag.end()};
 }
 
 std::vector<std::uint8_t> confirm_digest(const BitVec& final_key,
                                          std::uint64_t session_id,
                                          const char* role) {
   crypto::Sha256 h;
-  const auto kb = final_key.to_bytes();
+  auto kb = final_key.to_bytes();
   h.update(kb);
+  crypto::secure_wipe(kb);
   std::uint8_t sid[8];
   for (int i = 0; i < 8; ++i) {
     sid[i] = static_cast<std::uint8_t>(session_id >> (56 - 8 * i));
@@ -425,11 +430,11 @@ bool run_key_agreement(PublicChannel& channel, AliceSession& alice,
 
 SecureLink::SecureLink(const BitVec& key128) {
   VKEY_REQUIRE(key128.size() == 128, "SecureLink needs a 128-bit key");
-  const auto bytes = key128.to_bytes();
+  auto bytes = key128.to_bytes();
   // Cryptographically separated subkeys via HKDF (RFC 5869).
-  const auto enc = crypto::derive_subkey(bytes, "vkey-v1 encryption", 16);
-  std::copy(enc.begin(), enc.end(), aes_key_.begin());
+  aes_key_ = crypto::derive_subkey(bytes, "vkey-v1 encryption", 16);
   mac_key_ = crypto::derive_subkey(bytes, "vkey-v1 mac", 32);
+  crypto::secure_wipe(bytes);
 }
 
 Message SecureLink::seal(std::uint64_t session_id, std::uint64_t nonce,
@@ -449,8 +454,7 @@ std::optional<std::vector<std::uint8_t>> SecureLink::open(
     const Message& msg) const {
   if (msg.type != MessageType::kData) return std::nullopt;
   const auto tag = crypto::hmac_sha256(mac_key_, mac_input(msg));
-  if (!crypto::constant_time_equal(
-          msg.mac, std::vector<std::uint8_t>(tag.begin(), tag.end()))) {
+  if (!crypto::constant_time_equal(msg.mac, tag)) {
     return std::nullopt;
   }
   crypto::Aes128 aes(aes_key_);

@@ -15,13 +15,13 @@
 // key; SecureLink wraps it for AES-128-CTR + HMAC payload protection.
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
 
 #include "common/bitvec.h"
+#include "crypto/secret_buffer.h"
 #include "core/privacy.h"
 #include "core/reconciler.h"
 #include "protocol/channel.h"
@@ -228,8 +228,8 @@ class SecureLink {
   std::optional<std::vector<std::uint8_t>> open(const Message& msg) const;
 
  private:
-  std::array<std::uint8_t, 16> aes_key_;
-  std::vector<std::uint8_t> mac_key_;
+  crypto::SecretBuffer aes_key_;  ///< 16-byte AES key (zeroizing)
+  crypto::SecretBuffer mac_key_;  ///< 32-byte HMAC key (zeroizing)
 };
 
 }  // namespace vkey::protocol

@@ -55,10 +55,11 @@ TEST(Hmac, DifferentMessagesDifferentTags) {
 }
 
 TEST(ConstantTimeEqual, Basics) {
-  EXPECT_TRUE(constant_time_equal({1, 2, 3}, {1, 2, 3}));
-  EXPECT_FALSE(constant_time_equal({1, 2, 3}, {1, 2, 4}));
-  EXPECT_FALSE(constant_time_equal({1, 2}, {1, 2, 3}));
-  EXPECT_TRUE(constant_time_equal({}, {}));
+  using V = std::vector<std::uint8_t>;
+  EXPECT_TRUE(constant_time_equal(V{1, 2, 3}, V{1, 2, 3}));
+  EXPECT_FALSE(constant_time_equal(V{1, 2, 3}, V{1, 2, 4}));
+  EXPECT_FALSE(constant_time_equal(V{1, 2}, V{1, 2, 3}));
+  EXPECT_TRUE(constant_time_equal(V{}, V{}));
 }
 
 }  // namespace

@@ -279,6 +279,98 @@ TEST_F(SessionFuzz, RandomInterleavingsNeverCrashOrDisagree) {
   EXPECT_GT(established_both, kTrials / 40);
 }
 
+TEST_F(SessionFuzz, WireRejectedFramesLeaveNoPayloadResidueInSessionState) {
+  // Secret-hygiene invariant (DESIGN.md "Secret hygiene & taint rules"): a
+  // frame the codec rejects with a typed WireError materializes no Message,
+  // so its payload bytes have nowhere to be copied — not into the state
+  // machines, not into the flight-recorder timeline. This test bombards a
+  // live session pair with rejected mutations between every genuine
+  // delivery and asserts (a) every rejection is typed and yields no
+  // Message, (b) all observable session state is untouched by the barrage,
+  // and (c) the handshake still completes with matching keys, proving no
+  // residue bent the outcome.
+  vkey::Rng rng(0xd15ca4d);
+  BitVec kb(64);
+  for (std::size_t i = 0; i < 64; ++i) kb.set(i, rng.bernoulli(0.5));
+  SessionConfig cfg;
+  AliceSession alice(cfg, *reconciler_, kb);
+  BobSession bob(cfg, *reconciler_, kb);
+  FlightRecorder alice_rec(256), bob_rec(256);
+  alice.set_recorder(&alice_rec, "alice");
+  bob.set_recorder(&bob_rec, "bob");
+
+  std::deque<Message> wire_q;
+  wire_q.push_back(alice.start());
+  bool syndrome_queued = false;
+  int steps = 0;
+  std::size_t rejected_mutations = 0;
+  while (!wire_q.empty() && steps++ < 64) {
+    Message msg = wire_q.front();
+    wire_q.pop_front();
+
+    const auto encoded = wire::encode_frame(msg);
+    const auto a_state = alice.state();
+    const auto b_state = bob.state();
+    const auto a_rejects = alice.rejected_count();
+    const auto b_rejects = bob.rejected_count();
+    const auto a_events = alice_rec.size();
+    const auto b_events = bob_rec.size();
+
+    for (int k = 0; k < 32; ++k) {
+      auto bad = encoded;
+      switch (k % 4) {
+        case 0:  // single bit flip anywhere (CRC covers the whole frame)
+          bad[rng.uniform_int(bad.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.uniform_int(8));
+          break;
+        case 1:  // truncation
+          bad.resize(rng.uniform_int(bad.size()));
+          break;
+        case 2:  // magic damage
+          bad[0] ^= 0xff;
+          break;
+        default:  // version skew
+          bad[2] ^= 0x55;
+          break;
+      }
+      wire::WireError err = wire::WireError::kNone;
+      const auto decoded = wire::decode_frame(bad, &err);
+      if (decoded.has_value()) continue;  // mutation happened to stay valid
+      ++rejected_mutations;
+      // Typed rejection and no materialized Message: the mutated payload
+      // bytes cannot have been copied into anything downstream.
+      ASSERT_NE(err, wire::WireError::kNone) << "step " << steps;
+    }
+
+    // The barrage of rejected frames was a perfect no-op on both parties.
+    ASSERT_EQ(alice.state(), a_state);
+    ASSERT_EQ(bob.state(), b_state);
+    ASSERT_EQ(alice.rejected_count(), a_rejects);
+    ASSERT_EQ(bob.rejected_count(), b_rejects);
+    ASSERT_EQ(alice_rec.size(), a_events);
+    ASSERT_EQ(bob_rec.size(), b_events);
+
+    // Now deliver the genuine frame and keep the handshake moving.
+    std::optional<Message> reply;
+    if (msg.type == MessageType::kKeyGenRequest ||
+        msg.type == MessageType::kKeyConfirm) {
+      reply = bob.handle(msg);
+    } else {
+      reply = alice.handle(msg);
+    }
+    if (reply) wire_q.push_back(*reply);
+    if (!syndrome_queued && bob.state() == SessionState::kAwaitConfirm) {
+      syndrome_queued = true;
+      wire_q.push_back(bob.make_syndrome());
+    }
+  }
+
+  EXPECT_GT(rejected_mutations, 100u);
+  ASSERT_EQ(alice.state(), SessionState::kEstablished);
+  ASSERT_EQ(bob.state(), SessionState::kEstablished);
+  EXPECT_EQ(alice.final_key(), bob.final_key());
+}
+
 TEST_F(SessionFuzz, FailedFuzzedSessionDumpsTimelineNamingTheInjectedFault) {
   // Same interleaving harness, but with a flight recorder wired into both
   // sessions and fed a kInjected event for every harness-made fault. When a

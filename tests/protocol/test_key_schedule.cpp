@@ -34,47 +34,53 @@ channel::LoRaParams fast_radio() {
 
 // ------------------------------------------------------------- derivation
 
+// SecretBuffer deletes operator== (timing side channel); key equality in
+// these tests goes through the sanctioned constant_time_equal.
+bool same(const crypto::SecretBuffer& a, const crypto::SecretBuffer& b) {
+  return crypto::constant_time_equal(a, b);
+}
+
 TEST(KeyScheduleDerive, BothPartiesDeriveIdenticalEpochKeys) {
   const auto secret = test_secret().to_bytes();
   const EpochKeys a = derive_epoch_keys(secret, kSession, 0);
   const EpochKeys b = derive_epoch_keys(secret, kSession, 0);
-  EXPECT_EQ(a.a2b.enc, b.a2b.enc);
-  EXPECT_EQ(a.a2b.mac, b.a2b.mac);
+  EXPECT_TRUE(same(a.a2b.enc, b.a2b.enc));
+  EXPECT_TRUE(same(a.a2b.mac, b.a2b.mac));
   EXPECT_EQ(a.a2b.nonce_base, b.a2b.nonce_base);
-  EXPECT_EQ(a.b2a.enc, b.b2a.enc);
-  EXPECT_EQ(a.confirm, b.confirm);
+  EXPECT_TRUE(same(a.b2a.enc, b.b2a.enc));
+  EXPECT_TRUE(same(a.confirm, b.confirm));
 }
 
 TEST(KeyScheduleDerive, DirectionsAndPurposesAreIndependent) {
   const auto secret = test_secret().to_bytes();
   const EpochKeys keys = derive_epoch_keys(secret, kSession, 0);
-  EXPECT_NE(keys.a2b.enc, keys.b2a.enc);
-  EXPECT_NE(keys.a2b.mac, keys.b2a.mac);
+  EXPECT_FALSE(same(keys.a2b.enc, keys.b2a.enc));
+  EXPECT_FALSE(same(keys.a2b.mac, keys.b2a.mac));
   EXPECT_NE(keys.a2b.nonce_base, keys.b2a.nonce_base);
-  EXPECT_NE(keys.a2b.mac, keys.confirm);
+  EXPECT_FALSE(same(keys.a2b.mac, keys.confirm));
   // The 16-byte enc key must not be a prefix of the 32-byte mac key.
-  EXPECT_NE(std::vector<std::uint8_t>(keys.a2b.mac.begin(),
-                                      keys.a2b.mac.begin() + 16),
-            std::vector<std::uint8_t>(keys.a2b.enc.begin(),
-                                      keys.a2b.enc.end()));
+  EXPECT_FALSE(crypto::constant_time_equal(
+      keys.a2b.mac.expose().subspan(0, 16), keys.a2b.enc.expose()));
 }
 
 TEST(KeyScheduleDerive, EpochsSessionsAndSecretsSeparateKeys) {
   const auto secret = test_secret().to_bytes();
   const EpochKeys e0 = derive_epoch_keys(secret, kSession, 0);
-  EXPECT_NE(e0.a2b.enc, derive_epoch_keys(secret, kSession, 1).a2b.enc);
-  EXPECT_NE(e0.a2b.enc, derive_epoch_keys(secret, kSession + 1, 0).a2b.enc);
+  EXPECT_FALSE(same(e0.a2b.enc, derive_epoch_keys(secret, kSession, 1).a2b.enc));
+  EXPECT_FALSE(
+      same(e0.a2b.enc, derive_epoch_keys(secret, kSession + 1, 0).a2b.enc));
   const auto other = test_secret(0x0ddba11).to_bytes();
-  EXPECT_NE(e0.a2b.enc, derive_epoch_keys(other, kSession, 0).a2b.enc);
+  EXPECT_FALSE(same(e0.a2b.enc, derive_epoch_keys(other, kSession, 0).a2b.enc));
 }
 
 TEST(KeyScheduleDerive, RatchetIsDeterministicAndOneWayLooking) {
   const auto secret = test_secret().to_bytes();
   const auto next = ratchet_secret(secret, kSession, 1);
-  EXPECT_EQ(next, ratchet_secret(secret, kSession, 1));
+  EXPECT_TRUE(same(next, ratchet_secret(secret, kSession, 1)));
   EXPECT_EQ(next.size(), 32u);
-  EXPECT_NE(next, secret);
-  EXPECT_NE(ratchet_secret(secret, kSession, 2), next);
+  EXPECT_FALSE(crypto::constant_time_equal(next.expose(),
+                                           std::span<const std::uint8_t>(secret)));
+  EXPECT_FALSE(same(ratchet_secret(secret, kSession, 2), next));
 }
 
 // ------------------------------------------------------------- seal / open
@@ -139,7 +145,7 @@ TEST(KeySchedule, RekeyAdvancesEpochAndChangesKeys) {
   EXPECT_TRUE(alice.rekey_due(1000.0));
   alice.rekey(1000.0);
   EXPECT_EQ(alice.epoch(), 1u);
-  EXPECT_NE(alice.keys().a2b.enc, before);
+  EXPECT_FALSE(same(alice.keys().a2b.enc, before));
   EXPECT_EQ(alice.stats().rekeys, 1u);
 }
 

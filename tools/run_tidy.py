@@ -15,6 +15,7 @@ or  cmake --build build --target tidy
 import argparse
 import json
 import multiprocessing
+import re
 import subprocess
 import sys
 from pathlib import Path
@@ -22,7 +23,7 @@ from pathlib import Path
 FIRST_PARTY_DIRS = ("src", "tests", "bench", "examples")
 
 
-def first_party_sources(build_dir, repo_root):
+def first_party_sources(build_dir, repo_root, path_filter=None):
     db_path = Path(build_dir) / "compile_commands.json"
     if not db_path.is_file():
         sys.exit(f"error: {db_path} not found; configure with "
@@ -39,6 +40,8 @@ def first_party_sources(build_dir, repo_root):
         except ValueError:
             continue
         if rel.parts and rel.parts[0] in FIRST_PARTY_DIRS:
+            if path_filter and not path_filter.search(rel.as_posix()):
+                continue
             sources.append(str(src.resolve()))
     return sorted(set(sources))
 
@@ -57,10 +60,15 @@ def main(argv=None):
     ap.add_argument("--build-dir", default="build")
     ap.add_argument("--jobs", type=int,
                     default=max(1, multiprocessing.cpu_count() - 1))
+    ap.add_argument("--filter", default=None, metavar="REGEX",
+                    help="only tidy repo-relative paths matching REGEX "
+                         "(e.g. 'src/(crypto|protocol)/' for the "
+                         "key-lifecycle layers in the secret-flow CI job)")
     args = ap.parse_args(argv)
 
     repo_root = Path(__file__).resolve().parent.parent
-    sources = first_party_sources(args.build_dir, repo_root)
+    path_filter = re.compile(args.filter) if args.filter else None
+    sources = first_party_sources(args.build_dir, repo_root, path_filter)
     if not sources:
         sys.exit("error: no first-party sources found in compile database")
     print(f"clang-tidy: {len(sources)} translation units, "

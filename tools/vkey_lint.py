@@ -59,6 +59,17 @@ sim-clock-owner
     inline `// vkey-lint: allow(sim-clock-owner)` suppression. Tests,
     benches and examples construct clocks freely.
 
+no-raw-memcmp-on-secrets
+    No `memcmp` in the key-lifecycle layers (`src/crypto/`, `src/protocol/`).
+    memcmp short-circuits on the first differing byte, so comparing MACs or
+    keys with it leaks a timing oracle (the classic remote-timing HMAC
+    bypass). All comparisons in those layers go through
+    `crypto::constant_time_equal` (src/crypto/secret_buffer.h), whose
+    OR-accumulator touches every byte regardless of where the mismatch is.
+    `secret_buffer.cpp` is the single sanctioned comparison owner. Code
+    outside the secret layers (e.g. file-magic checks in nn/serialize) and
+    tests comparing public vectors are unaffected.
+
 pragma-once
     Every header's first preprocessor directive must be `#pragma once`.
 
@@ -120,6 +131,12 @@ ALLOWLIST = {
             "sub-clocks it hands to run_reliable_key_agreement_on"
         ),
     },
+    "src/crypto/secret_buffer.cpp": {
+        "no-raw-memcmp-on-secrets": (
+            "the zeroizing container is the single sanctioned comparison "
+            "owner; constant_time_equal lives here"
+        ),
+    },
 }
 
 # Directories exempt from a rule wholesale.
@@ -171,6 +188,12 @@ SIM_CLOCK_OWNER_PATTERNS = [
     re.compile(r"make_(?:unique|shared)\s*<\s*SimClock\b"),
 ]
 SIM_CLOCK_OWNER_SCOPE = "src/protocol/"
+
+# memcmp in the key-lifecycle layers: short-circuit comparison is a timing
+# oracle when the operands are MACs or keys. constant_time_equal
+# (src/crypto/secret_buffer.h) is the sanctioned comparator there.
+MEMCMP_PATTERN = re.compile(r"(?<![\w:])(?:std\s*::\s*)?memcmp\s*\(")
+MEMCMP_SCOPES = ("src/crypto/", "src/protocol/")
 
 IOSTREAM_PATTERN = re.compile(r"#\s*include\s*<iostream>")
 USING_NAMESPACE_PATTERN = re.compile(r"(?<![\w:])using\s+namespace\s+[\w:]+")
@@ -277,6 +300,11 @@ def scan_file(path, rel, explain):
                           "bytes through wire::FrameReader (bounds-checked) "
                           "instead of casts/pointer arithmetic")
                     break
+        if rel.startswith(MEMCMP_SCOPES) and MEMCMP_PATTERN.search(code):
+            check("no-raw-memcmp-on-secrets", i, raw,
+                  "memcmp in a key-lifecycle layer is a timing oracle; "
+                  "compare through crypto::constant_time_equal "
+                  "(src/crypto/secret_buffer.h)")
         if rel.startswith(SIM_CLOCK_OWNER_SCOPE):
             for pat in SIM_CLOCK_OWNER_PATTERNS:
                 if pat.search(code):
