@@ -23,10 +23,20 @@
 //                                existing snapshots
 //   bench_runner --check-docs    no bench runs; verify docs match the
 //                                snapshots (exit 1 when stale)
+//   bench_runner --check-perf    run bench_tab3_runtime --quick into
+//                                <data>/quick/ and compare every stage's
+//                                real time against the committed
+//                                BENCH_tab3_runtime.json; exit 1 when a
+//                                stage is slower than the committed value
+//                                times --perf-tolerance (default 1.5 —
+//                                wide enough for quick-mode noise, tight
+//                                enough to catch a lost kernel or an
+//                                accidental O(n^2))
 //   bench_runner --only <name>   restrict the run to one bench
 //
 // Run from the repository root: the defaults are --bin-dir <dir of this
 // binary>, --data bench/data, --docs EXPERIMENTS.md.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -78,15 +88,17 @@ struct Options {
   bool quick = false;
   bool regen_only = false;
   bool check_docs = false;
+  bool check_perf = false;
+  double perf_tolerance = 1.5;
   std::string threads;  // forwarded to every bench; empty = bench default
 };
 
 [[noreturn]] void usage(const char* argv0, int code) {
   std::fprintf(
       stderr,
-      "usage: %s [--quick] [--regen-only] [--check-docs] [--only <name>]\n"
-      "          [--threads <n>] [--bin-dir <dir>] [--data <dir>] "
-      "[--docs <path>]\n",
+      "usage: %s [--quick] [--regen-only] [--check-docs] [--check-perf]\n"
+      "          [--perf-tolerance <f>] [--only <name>] [--threads <n>]\n"
+      "          [--bin-dir <dir>] [--data <dir>] [--docs <path>]\n",
       argv0);
   std::exit(code);
 }
@@ -110,6 +122,17 @@ Options parse_args(int argc, char** argv) {
       opt.regen_only = true;
     } else if (a == "--check-docs") {
       opt.check_docs = true;
+    } else if (a == "--check-perf") {
+      opt.check_perf = true;
+    } else if (a == "--perf-tolerance") {
+      const std::string v = value("--perf-tolerance");
+      char* end = nullptr;
+      opt.perf_tolerance = std::strtod(v.c_str(), &end);
+      if (end == v.c_str() || *end != '\0' || opt.perf_tolerance < 1.0) {
+        std::fprintf(stderr, "%s: --perf-tolerance needs a factor >= 1.0\n",
+                     argv[0]);
+        std::exit(2);
+      }
     } else if (a == "--only") {
       opt.only = value("--only");
     } else if (a == "--threads") {
@@ -204,6 +227,88 @@ std::string regenerate(const std::string& docs_text, const fs::path& data_dir) {
   return out;
 }
 
+/// Stage -> real-time-ns map from a tab3_runtime snapshot (column 1 of the
+/// captured google-benchmark table; cells are pre-formatted numbers).
+std::vector<std::pair<std::string, double>> stage_times(const Value& snap) {
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& t : snap.at("tables").as_array()) {
+    if (t.at("id").as_string() != "tab3_runtime") continue;
+    for (const auto& row : t.at("rows").as_array()) {
+      const auto& cells = row.as_array();
+      VKEY_REQUIRE(cells.size() >= 2, "malformed tab3_runtime row");
+      const std::string& name = cells[0].as_string();
+      const std::string& val = cells[1].as_string();
+      char* end = nullptr;
+      const double ns = std::strtod(val.c_str(), &end);
+      VKEY_REQUIRE(end != val.c_str(), "unparsable stage time '" + val + "'");
+      out.emplace_back(name, ns);
+    }
+  }
+  VKEY_REQUIRE(!out.empty(), "no tab3_runtime table in snapshot");
+  return out;
+}
+
+/// --check-perf: fresh quick timings vs the committed tab3 snapshot.
+/// Stages only present on one side are reported but do not fail the check
+/// (a freshly added benchmark has no committed baseline yet; committing the
+/// regenerated snapshot is the fix for a stale stage list).
+int check_perf(const Options& opt) {
+  const fs::path committed =
+      fs::path(opt.data_dir) / "BENCH_tab3_runtime.json";
+  VKEY_REQUIRE(fs::exists(committed),
+               "missing committed baseline " + committed.string());
+  const fs::path quick_dir = fs::path(opt.data_dir) / "quick";
+  fs::create_directories(quick_dir);
+  const fs::path fresh_snap = quick_dir / "BENCH_tab3_runtime.json";
+  const fs::path bin = fs::path(opt.bin_dir) / "bench_tab3_runtime";
+  std::string cmd =
+      bin.string() + " --json " + fresh_snap.string() + " --quick";
+  if (!opt.threads.empty()) cmd += " --threads " + opt.threads;
+  std::printf("== bench_tab3_runtime (fresh --quick run) ==\n");
+  std::fflush(stdout);
+  const int rc = std::system(cmd.c_str());
+  VKEY_REQUIRE(rc == 0, "bench_tab3_runtime failed");
+
+  const auto base = stage_times(Value::parse(read_file(committed)));
+  const auto fresh = stage_times(Value::parse(read_file(fresh_snap)));
+  vkey::Table t({"stage", "committed (ns)", "fresh (ns)", "ratio", "verdict"});
+  int regressions = 0;
+  for (const auto& [name, base_ns] : base) {
+    const auto it =
+        std::find_if(fresh.begin(), fresh.end(),
+                     [&](const auto& p) { return p.first == name; });
+    if (it == fresh.end()) {
+      t.add_row({name, vkey::Table::fmt(base_ns, 1), "missing", "-", "SKIP"});
+      continue;
+    }
+    const double ratio = base_ns > 0.0 ? it->second / base_ns : 0.0;
+    const bool ok = it->second <= base_ns * opt.perf_tolerance;
+    if (!ok) ++regressions;
+    t.add_row({name, vkey::Table::fmt(base_ns, 1),
+               vkey::Table::fmt(it->second, 1), vkey::Table::fmt(ratio, 2),
+               ok ? "ok" : "REGRESSION"});
+  }
+  for (const auto& [name, ns] : fresh) {
+    if (std::find_if(base.begin(), base.end(), [&](const auto& p) {
+          return p.first == name;
+        }) == base.end()) {
+      t.add_row({name, "(no baseline)", vkey::Table::fmt(ns, 1), "-", "NEW"});
+    }
+  }
+  t.print("perf check vs " + committed.string() + " (tolerance " +
+          vkey::Table::fmt(opt.perf_tolerance, 2) + "x)");
+  if (regressions > 0) {
+    std::fprintf(stderr,
+                 "%d stage(s) regressed beyond %.2fx of the committed "
+                 "baseline\n",
+                 regressions, opt.perf_tolerance);
+    return 1;
+  }
+  std::printf("all stages within %.2fx of the committed baseline\n",
+              opt.perf_tolerance);
+  return 0;
+}
+
 int run_benches(const Options& opt, const fs::path& data_dir) {
   int failures = 0;
   for (const auto& spec : kBenches) {
@@ -230,6 +335,7 @@ int run_benches(const Options& opt, const fs::path& data_dir) {
 int main(int argc, char** argv) {
   const Options opt = parse_args(argc, argv);
   try {
+    if (opt.check_perf) return check_perf(opt);
     if (opt.check_docs) {
       const std::string on_disk = read_file(opt.docs);
       const std::string fresh = regenerate(on_disk, opt.data_dir);

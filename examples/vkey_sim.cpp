@@ -17,6 +17,10 @@
 //   --decoder-units N      reconciler decoder width         default 64
 //   --seed N               simulation seed                  default 1
 //   --no-prediction        ablate the BiLSTM (direct quantization)
+//   --int8                 run predictor *inference* through the int8
+//                          fused kernels with polynomial activations
+//                          (training stays float; see DESIGN.md "NN
+//                          kernel core" for the KAR impact)
 //
 // Fault injection (any of these enables the reliable-link phase, which
 // replays every evaluation block through the ARQ transport over a lossy
@@ -80,7 +84,7 @@ namespace {
                "usage: %s [--scenario v2i-urban|v2i-rural|v2v-urban|"
                "v2v-rural] [--speed KMH] [--train-rounds N] "
                "[--test-rounds N] [--hidden N] [--epochs N] "
-               "[--decoder-units N] [--seed N] [--no-prediction] "
+               "[--decoder-units N] [--seed N] [--no-prediction] [--int8] "
                "[--drop P] [--reorder P] [--dup P] [--corrupt P] "
                "[--link-seed N] [--gateway N] [--max-inflight N] "
                "[--metrics] [--metrics-json PATH] "
@@ -171,6 +175,7 @@ int main(int argc, char** argv) {
     else if (arg == "--decoder-units") cfg.reconciler.decoder_units = static_cast<std::size_t>(next_u64());
     else if (arg == "--seed") cfg.trace.seed = next_u64();
     else if (arg == "--no-prediction") cfg.use_prediction = false;
+    else if (arg == "--int8") cfg.predictor.quantized = true;
     // The channel model requires drop < 1 (certain loss can never make
     // progress); the other fault probabilities live in [0, 1].
     else if (arg == "--drop") { fault.drop_prob = clamp_prob("--drop", next_double(), 0.0, 0.99); run_link = true; }
@@ -198,7 +203,10 @@ int main(int argc, char** argv) {
               "rounds, prediction %s\n",
               to_string(kind).c_str(), speed,
               static_cast<unsigned long long>(cfg.trace.seed), train_rounds,
-              test_rounds, cfg.use_prediction ? "on" : "off");
+              test_rounds,
+              !cfg.use_prediction      ? "off"
+              : cfg.predictor.quantized ? "on (int8)"
+                                        : "on");
 
   KeyGenPipeline pipeline(cfg);
   const auto m = pipeline.run(train_rounds, test_rounds);
@@ -333,6 +341,40 @@ int main(int argc, char** argv) {
           const auto& b = blocks[(device + attempt) % blocks.size()];
           return std::make_pair(b.alice_raw, b.bob_key);
         });
+    if (cfg.use_prediction) {
+      // Batched attempt-0 prefetch: one blocked predictor pass per
+      // sim_batch regenerates, live, the same bits the per-attempt source
+      // reads out of the cached evaluation blocks (infer_batch is
+      // bit-identical per member to the infer() calls that produced those
+      // blocks, so the two sources agree as BatchMaterialFn requires).
+      const auto& samples = pipeline.test_samples();
+      const std::size_t wpb = cfg.reconciler.key_bits / cfg.predictor.key_bits;
+      const std::size_t n_blocks = blocks.size();
+      engine.set_batch_material(
+          [&pipeline, &samples, wpb, n_blocks](std::uint64_t first,
+                                               std::size_t count) {
+            std::vector<vkey::nn::Vec> windows;
+            windows.reserve(count * wpb);
+            for (std::size_t d = 0; d < count; ++d) {
+              const std::size_t bi = (first + d) % n_blocks;
+              for (std::size_t w = 0; w < wpb; ++w) {
+                windows.push_back(samples[bi * wpb + w].alice_seq);
+              }
+            }
+            const auto outs = pipeline.predictor().infer_batch(windows);
+            std::vector<std::pair<BitVec, BitVec>> material(count);
+            for (std::size_t d = 0; d < count; ++d) {
+              const std::size_t bi = (first + d) % n_blocks;
+              BitVec alice, bob;
+              for (std::size_t w = 0; w < wpb; ++w) {
+                alice.append(outs[d * wpb + w].bits);
+                bob.append(samples[bi * wpb + w].bob_bits);
+              }
+              material[d] = {std::move(alice), std::move(bob)};
+            }
+            return material;
+          });
+    }
     const auto g = engine.run();
 
     Table gt({"metric", "value"});

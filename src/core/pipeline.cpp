@@ -88,7 +88,8 @@ PipelineMetrics KeyGenPipeline::run(std::size_t train_rounds,
   DatasetConfig test_ds = cfg_.dataset;
   test_ds.stride = 0;  // non-overlapping evaluation windows
   const auto train_samples = make_samples(train_streams, train_ds);
-  const auto test_samples = make_samples(test_streams, test_ds);
+  test_samples_ = make_samples(test_streams, test_ds);
+  const auto& test_samples = test_samples_;
   extract_timer.stop();
   VKEY_REQUIRE(!test_samples.empty(), "test segment produced no samples");
 
@@ -128,16 +129,47 @@ PipelineMetrics KeyGenPipeline::run(std::size_t train_rounds,
   struct Fragment {
     BitVec alice, eve;
   };
-  const auto fragments = parallel::parallel_map(
-      test_samples,
-      [&](const TrainingSample& s, std::size_t) {
-        Fragment f;
-        if (cfg_.use_prediction) {
-          trace::ScopedTimer t(predict_ms);
-          f.alice = predictor_->infer(s.alice_seq).bits;
-          f.eve = predictor_->infer(s.eve_seq).bits;
-        } else {
+  std::vector<Fragment> fragments;
+  if (cfg_.use_prediction) {
+    // Chunked, batched prediction: windows are grouped into fixed-size
+    // chunks and each chunk runs through PredictorQuantizer::infer_batch
+    // so the Dense heads make one blocked pass per chunk. The chunk
+    // geometry depends only on the sample count — never on the lane
+    // count — and the batched path is bit-identical per member to
+    // sequential infer(), so the output stays byte-stable for any
+    // `threads` value (see DESIGN.md "Parallel execution & determinism
+    // contract").
+    constexpr std::size_t kPredictChunk = 16;
+    const std::size_t n = test_samples.size();
+    const std::size_t n_chunks = (n + kPredictChunk - 1) / kPredictChunk;
+    fragments.assign(n, Fragment{});
+    parallel::parallel_for(
+        n_chunks,
+        [&](std::size_t c) {
+          const std::size_t lo = c * kPredictChunk;
+          const std::size_t hi = std::min(n, lo + kPredictChunk);
+          trace::ScopedTimer t(predict_ms, "pipeline.predict_chunk");
+          t.attr("chunk", c).attr("windows", 2 * (hi - lo));
+          std::vector<nn::Vec> windows;
+          windows.reserve(2 * (hi - lo));
+          for (std::size_t i = lo; i < hi; ++i) {
+            windows.push_back(test_samples[i].alice_seq);
+            windows.push_back(test_samples[i].eve_seq);
+          }
+          const auto outs = predictor_->infer_batch(windows);
+          for (std::size_t i = lo; i < hi; ++i) {
+            fragments[i].alice = outs[2 * (i - lo)].bits;
+            fragments[i].eve = outs[2 * (i - lo) + 1].bits;
+            quantized_bits.add(fragments[i].alice.size());
+          }
+        },
+        cfg_.threads);
+  } else {
+    fragments = parallel::parallel_map(
+        test_samples,
+        [&](const TrainingSample& s, std::size_t) {
           // Ablation: Alice quantizes her own window directly.
+          Fragment f;
           trace::ScopedTimer t(quantize_ms);
           std::vector<double> a(s.alice_seq.begin(), s.alice_seq.end());
           std::vector<double> e(s.eve_seq.begin(), s.eve_seq.end());
@@ -149,11 +181,11 @@ PipelineMetrics KeyGenPipeline::run(std::size_t train_rounds,
           f.alice = f.alice.slice(0, frag_bits);
           while (f.eve.size() < frag_bits) f.eve.push_back(false);
           f.eve = f.eve.slice(0, frag_bits);
-        }
-        quantized_bits.add(f.alice.size());
-        return f;
-      },
-      cfg_.threads);
+          quantized_bits.add(f.alice.size());
+          return f;
+        },
+        cfg_.threads);
+  }
 
   // Concatenate the fixed-width fragments once; blocks then read at bit
   // offsets instead of repeatedly re-slicing shrinking accumulators.

@@ -87,6 +87,13 @@ class KeyGenPipeline {
   /// Per-block details of the last run() (for randomness/NIST harvesting).
   const std::vector<KeyBlockResult>& blocks() const { return blocks_; }
 
+  /// Evaluation windows of the last run() — lets protocol-layer callers
+  /// (e.g. the gateway simulator) drive the trained predictor with the
+  /// same held-out measurement windows the metrics were computed on.
+  const std::vector<TrainingSample>& test_samples() const {
+    return test_samples_;
+  }
+
   /// Concatenation of all successfully agreed, privacy-amplified keys from
   /// the last run() — the bit stream fed to the NIST suite (Table II).
   BitVec amplified_key_stream() const;
@@ -102,6 +109,7 @@ class KeyGenPipeline {
   std::optional<PredictorQuantizer> predictor_;
   std::optional<AutoencoderReconciler> reconciler_;
   std::vector<KeyBlockResult> blocks_;
+  std::vector<TrainingSample> test_samples_;
   PrivacyAmplifier amplifier_{128};
 };
 

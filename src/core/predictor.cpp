@@ -35,6 +35,13 @@ PredictorQuantizer::PredictorQuantizer(const PredictorConfig& config)
   VKEY_REQUIRE(config.hidden >= 2, "hidden size too small");
   VKEY_REQUIRE(config.theta >= 0.0 && config.theta <= 1.0,
                "theta must be in [0,1]");
+  if (config.quantized) set_quantized(true);
+}
+
+void PredictorQuantizer::set_quantized(bool quantized) {
+  bilstm_.set_quantized(quantized);
+  pred_head_.set_quantized(quantized);
+  quant_head_.set_quantized(quantized);
 }
 
 std::vector<nn::Parameter*> PredictorQuantizer::parameters() {
@@ -131,6 +138,41 @@ PredictorQuantizer::Output PredictorQuantizer::infer(
   out.probabilities = nn::sigmoid_vec(logits);
   out.bits = BitVec::from_doubles_threshold(out.probabilities);
   return out;
+}
+
+std::vector<PredictorQuantizer::Output> PredictorQuantizer::infer_batch(
+    std::span<const nn::Vec> windows) const {
+  for (const auto& w : windows) {
+    VKEY_REQUIRE(w.size() == cfg_.seq_len, "input seq_len mismatch");
+  }
+  std::vector<Output> outs(windows.size());
+  if (windows.empty()) return outs;
+
+  // BiLSTM per window (its weights stay cache-resident), flattened per
+  // member exactly as in infer().
+  std::vector<nn::Vec> flats(windows.size());
+  for (std::size_t m = 0; m < windows.size(); ++m) {
+    const nn::Seq h = bilstm_.infer(to_seq(windows[m], cfg_.phase_period));
+    auto& flat = flats[m];
+    flat.reserve(cfg_.seq_len * 2 * cfg_.hidden);
+    for (const auto& ht : h) flat.insert(flat.end(), ht.begin(), ht.end());
+  }
+
+  // One blocked pass per Dense head over the whole batch: the prediction
+  // head's weight panels stream through cache once per batch instead of
+  // once per window.
+  std::vector<const nn::Vec*> xs(windows.size());
+  for (std::size_t m = 0; m < windows.size(); ++m) xs[m] = &flats[m];
+  std::vector<nn::Vec> y_hats = pred_head_.infer_batch(xs);
+  for (std::size_t m = 0; m < windows.size(); ++m) xs[m] = &y_hats[m];
+  std::vector<nn::Vec> logits = quant_head_.infer_batch(xs);
+
+  for (std::size_t m = 0; m < windows.size(); ++m) {
+    outs[m].predicted_seq = std::move(y_hats[m]);
+    outs[m].probabilities = nn::sigmoid_vec(logits[m]);
+    outs[m].bits = BitVec::from_doubles_threshold(outs[m].probabilities);
+  }
+  return outs;
 }
 
 double PredictorQuantizer::evaluate_loss(

@@ -38,6 +38,11 @@ struct PredictorConfig {
   /// feeding the phase j mod k lets the BiLSTM learn per-lag compensation.
   std::size_t phase_period = 4;
   std::uint64_t seed = 7;
+  /// Route inference through the int8 fused kernels with polynomial gate
+  /// activations (gemm.h). Training always stays float; the float infer
+  /// path stays bit-exact vs the naive reference. The ablation bench
+  /// measures the key-agreement-rate delta of this flag.
+  bool quantized = false;
 };
 
 struct TrainReport {
@@ -63,6 +68,17 @@ class PredictorQuantizer {
 
   /// Inference on one normalized arRSSI window.
   Output infer(const nn::Vec& alice_seq) const;
+
+  /// Batched inference: the BiLSTM runs per window (its weights are
+  /// cache-resident), then both Dense heads run one blocked pass over the
+  /// whole batch — the prediction head's weights (~2 MB at the default
+  /// sizing) stream through cache once per batch instead of once per
+  /// window. Bit-identical to calling infer() per window, in order.
+  std::vector<Output> infer_batch(std::span<const nn::Vec> windows) const;
+
+  /// Toggle the int8 inference path at runtime (see PredictorConfig).
+  void set_quantized(bool quantized);
+  bool quantized() const { return bilstm_.quantized(); }
 
   /// All trainable parameters (for snapshot/restore and fine-tuning).
   std::vector<nn::Parameter*> parameters();

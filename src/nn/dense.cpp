@@ -32,10 +32,39 @@ Dense::Dense(std::size_t in, std::size_t out, vkey::Rng& rng, Activation act)
   for (auto& v : w_.value) v = rng.uniform(-bound, bound);
 }
 
-Vec Dense::affine(const Vec& x) const {
+const PackedMatrix& Dense::packed() const {
+  pack_guard_.ensure(w_.revision,
+                     [this] { packed_w_.pack(w_.value.data(), out_, in_); });
+  return packed_w_;
+}
+
+const QuantizedMatrix& Dense::quant() const {
+  quant_guard_.ensure(w_.revision,
+                      [this] { quant_w_.pack(w_.value.data(), out_, in_); });
+  return quant_w_;
+}
+
+Vec Dense::affine(const Vec& x, bool quantized) const {
+  // Validate BEFORE counting: a rejected input must not inflate the FLOP /
+  // call counters with work that never ran.
   VKEY_REQUIRE(x.size() == in_, "Dense input size mismatch");
   dense_calls().add(1);
   dense_flops().add(2 * static_cast<std::uint64_t>(in_) * out_);
+  Vec z(out_);
+  if (quantized) {
+    const QuantizedMatrix& qm = quant();
+    std::vector<std::int8_t> xq(qm.padded_cols(), 0);
+    const double x_scale =
+        QuantizedMatrix::quantize_input(x.data(), in_, xq.data());
+    qm.matvec(xq.data(), x_scale, b_.value.data(), z.data());
+  } else {
+    packed().matvec(x.data(), b_.value.data(), z.data());
+  }
+  return z;
+}
+
+Vec Dense::infer_reference(const Vec& x) const {
+  VKEY_REQUIRE(x.size() == in_, "Dense input size mismatch");
   Vec z(out_);
   for (std::size_t o = 0; o < out_; ++o) {
     double s = b_.value[o];
@@ -43,7 +72,7 @@ Vec Dense::affine(const Vec& x) const {
     for (std::size_t i = 0; i < in_; ++i) s += wrow[i] * x[i];
     z[o] = s;
   }
-  return z;
+  return activate(z);
 }
 
 Vec Dense::activate(const Vec& z) const {
@@ -65,17 +94,52 @@ Vec Dense::activate(const Vec& z) const {
 
 Vec Dense::forward(const Vec& x) {
   last_x_ = x;
-  last_y_ = activate(affine(x));
+  last_y_ = activate(affine(x, /*quantized=*/false));
   return last_y_;
 }
 
 Vec Dense::forward(const Vec& x, Cache& cache) const {
   cache.x = x;
-  cache.y = activate(affine(x));
+  cache.y = activate(affine(x, /*quantized=*/false));
   return cache.y;
 }
 
-Vec Dense::infer(const Vec& x) const { return activate(affine(x)); }
+Vec Dense::infer(const Vec& x) const { return activate(affine(x, quantized_)); }
+
+std::vector<Vec> Dense::infer_batch(const std::vector<const Vec*>& xs) const {
+  std::vector<Vec> ys(xs.size());
+  if (xs.empty()) return ys;
+  for (const Vec* x : xs)
+    VKEY_REQUIRE(x != nullptr && x->size() == in_,
+                 "Dense input size mismatch");
+  dense_calls().add(xs.size());
+  dense_flops().add(2 * static_cast<std::uint64_t>(in_) * out_ * xs.size());
+  if (quantized_) {
+    // int8 rows stream ~8x less data than float, so the batched panel
+    // reuse buys nothing; per-member matvec keeps it simple.
+    const QuantizedMatrix& qm = quant();
+    std::vector<std::int8_t> xq(qm.padded_cols());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      std::fill(xq.begin(), xq.end(), static_cast<std::int8_t>(0));
+      const double x_scale =
+          QuantizedMatrix::quantize_input(xs[i]->data(), in_, xq.data());
+      ys[i].resize(out_);
+      qm.matvec(xq.data(), x_scale, b_.value.data(), ys[i].data());
+      ys[i] = activate(ys[i]);
+    }
+    return ys;
+  }
+  std::vector<const double*> xp(xs.size());
+  std::vector<double*> yp(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    ys[i].resize(out_);
+    xp[i] = xs[i]->data();
+    yp[i] = ys[i].data();
+  }
+  packed().matvec_batch(xp.data(), xs.size(), b_.value.data(), yp.data());
+  for (auto& y : ys) y = activate(y);
+  return ys;
+}
 
 Vec Dense::backward_impl(const Vec& x, const Vec& y, const Vec& grad_out,
                          Vec& grad_w, Vec& grad_b) const {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "nn/gemm.h"
 #include "nn/param.h"
 
 namespace vkey::nn {
@@ -40,6 +41,21 @@ class Dense {
   /// Forward without caching (inference-only; usable concurrently).
   Vec infer(const Vec& x) const;
 
+  /// Batched inference: one pass over the packed weights serves the whole
+  /// batch (the win for large layers like the BiLSTM prediction head,
+  /// whose weight matrix exceeds the per-core cache). Bit-identical to
+  /// calling infer() per element, in order.
+  std::vector<Vec> infer_batch(const std::vector<const Vec*>& xs) const;
+
+  /// Route infer()/infer_batch() through the int8 path (training and
+  /// forward() stay float). NOT bit-exact with the float path; see gemm.h.
+  void set_quantized(bool quantized) { quantized_ = quantized; }
+  bool quantized() const { return quantized_; }
+
+  /// The original naive affine + activation, retained as the bit-exactness
+  /// oracle for the packed kernels (tests only; no metrics, no cache).
+  Vec infer_reference(const Vec& x) const;
+
   /// Backward pass for the most recent forward(). Accumulates gradients
   /// into the layer parameters and returns dL/dx.
   Vec backward(const Vec& grad_out);
@@ -62,18 +78,26 @@ class Dense {
   Vec& bias_grad() { return b_.grad; }
 
  private:
-  Vec affine(const Vec& x) const;
+  Vec affine(const Vec& x, bool quantized) const;
   Vec activate(const Vec& z) const;
   Vec backward_impl(const Vec& x, const Vec& y, const Vec& grad_out,
                     Vec& grad_w, Vec& grad_b) const;
+  const PackedMatrix& packed() const;
+  const QuantizedMatrix& quant() const;
 
   std::size_t in_ = 0;
   std::size_t out_ = 0;
   Activation act_;
+  bool quantized_ = false;
   Parameter w_;  // out x in, row-major
   Parameter b_;  // out
   Vec last_x_;
   Vec last_y_;   // post-activation (needed for activation derivative)
+  // Lazily repacked weight layouts, keyed on w_.revision (see gemm.h).
+  mutable PackedMatrix packed_w_;
+  mutable QuantizedMatrix quant_w_;
+  mutable PackGuard pack_guard_;
+  mutable PackGuard quant_guard_;
 };
 
 }  // namespace vkey::nn

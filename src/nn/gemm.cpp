@@ -1,0 +1,333 @@
+// Blocked matrix kernels — see gemm.h for the layout and the bit-exactness
+// contract. This translation unit is compiled with wider optimization flags
+// than the rest of the library (-O3, -march=native where available) but
+// with floating-point contraction OFF; together with the explicit
+// mul-then-add intrinsics this pins the exact IEEE operation sequence per
+// output row to the one the scalar reference executes.
+#include "nn/gemm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace vkey::nn {
+
+void reference_matvec(const double* w, std::size_t rows, std::size_t cols,
+                      const double* x, const double* bias, double* y) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    double s = bias != nullptr ? bias[r] : 0.0;
+    const double* wrow = w + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) s += wrow[c] * x[c];
+    y[r] = s;
+  }
+}
+
+void PackedMatrix::pack(const double* w, std::size_t rows, std::size_t cols) {
+  VKEY_REQUIRE(rows > 0 && cols > 0, "PackedMatrix::pack: empty shape");
+  rows_ = rows;
+  cols_ = cols;
+  panels_ = (rows + kPanelRows - 1) / kPanelRows;
+  data_.assign(panels_ * cols * kPanelRows, 0.0);
+  for (std::size_t p = 0; p < panels_; ++p) {
+    const std::size_t row0 = p * kPanelRows;
+    const std::size_t live = std::min(kPanelRows, rows - row0);
+    double* panel = &data_[p * cols * kPanelRows];
+    for (std::size_t r = 0; r < live; ++r) {
+      const double* wrow = w + (row0 + r) * cols;
+      for (std::size_t c = 0; c < cols; ++c)
+        panel[c * kPanelRows + r] = wrow[c];
+    }
+  }
+}
+
+void PackedMatrix::pack_pair(const double* wa, std::size_t cols_a,
+                             const double* wb, std::size_t cols_b,
+                             std::size_t rows) {
+  VKEY_REQUIRE(rows > 0 && cols_a > 0 && cols_b > 0,
+               "PackedMatrix::pack_pair: empty shape");
+  rows_ = rows;
+  cols_ = cols_a + cols_b;
+  panels_ = (rows + kPanelRows - 1) / kPanelRows;
+  data_.assign(panels_ * cols_ * kPanelRows, 0.0);
+  for (std::size_t p = 0; p < panels_; ++p) {
+    const std::size_t row0 = p * kPanelRows;
+    const std::size_t live = std::min(kPanelRows, rows - row0);
+    double* panel = &data_[p * cols_ * kPanelRows];
+    for (std::size_t r = 0; r < live; ++r) {
+      const double* arow = wa + (row0 + r) * cols_a;
+      for (std::size_t c = 0; c < cols_a; ++c)
+        panel[c * kPanelRows + r] = arow[c];
+      const double* brow = wb + (row0 + r) * cols_b;
+      for (std::size_t c = 0; c < cols_b; ++c)
+        panel[(cols_a + c) * kPanelRows + r] = brow[c];
+    }
+  }
+}
+
+namespace {
+
+// Portable single-panel loop: kPanelRows independent accumulators, columns
+// ascending — the panel-shaped restatement of reference_matvec. Used for
+// tail panels and as the non-AVX2 fallback.
+void panel_matvec(const double* panel, std::size_t row0, std::size_t live,
+                  std::size_t cols, const double* x, const double* bias,
+                  double* y) {
+  double acc[kPanelRows];
+  for (std::size_t r = 0; r < kPanelRows; ++r)
+    acc[r] = (bias != nullptr && r < live) ? bias[row0 + r] : 0.0;
+  for (std::size_t c = 0; c < cols; ++c) {
+    const double xc = x[c];
+    const double* col = panel + c * kPanelRows;
+    for (std::size_t r = 0; r < kPanelRows; ++r) acc[r] += col[r] * xc;
+  }
+  for (std::size_t r = 0; r < live; ++r) y[row0 + r] = acc[r];
+}
+
+}  // namespace
+
+void PackedMatrix::matvec(const double* x, const double* bias,
+                          double* y) const {
+  const std::size_t cols = cols_;
+  std::size_t p = 0;
+#if defined(__AVX2__)
+  // Four panels interleaved: eight 256-bit accumulators keep eight
+  // independent add chains in flight, which covers the vaddpd latency that
+  // serializes a single-panel loop. Explicit mul-then-add: never fused.
+  for (; (p + 4) * kPanelRows <= rows_; p += 4) {
+    const double* p0 = &data_[(p + 0) * cols * kPanelRows];
+    const double* p1 = &data_[(p + 1) * cols * kPanelRows];
+    const double* p2 = &data_[(p + 2) * cols * kPanelRows];
+    const double* p3 = &data_[(p + 3) * cols * kPanelRows];
+    const std::size_t row0 = p * kPanelRows;
+    __m256d a0, a1, a2, a3, a4, a5, a6, a7;
+    if (bias != nullptr) {
+      a0 = _mm256_loadu_pd(bias + row0);
+      a1 = _mm256_loadu_pd(bias + row0 + 4);
+      a2 = _mm256_loadu_pd(bias + row0 + 8);
+      a3 = _mm256_loadu_pd(bias + row0 + 12);
+      a4 = _mm256_loadu_pd(bias + row0 + 16);
+      a5 = _mm256_loadu_pd(bias + row0 + 20);
+      a6 = _mm256_loadu_pd(bias + row0 + 24);
+      a7 = _mm256_loadu_pd(bias + row0 + 28);
+    } else {
+      a0 = a1 = a2 = a3 = a4 = a5 = a6 = a7 = _mm256_setzero_pd();
+    }
+    for (std::size_t c = 0; c < cols; ++c) {
+      const __m256d xc = _mm256_set1_pd(x[c]);
+      const std::size_t o = c * kPanelRows;
+      a0 = _mm256_add_pd(a0, _mm256_mul_pd(_mm256_loadu_pd(p0 + o), xc));
+      a1 = _mm256_add_pd(a1, _mm256_mul_pd(_mm256_loadu_pd(p0 + o + 4), xc));
+      a2 = _mm256_add_pd(a2, _mm256_mul_pd(_mm256_loadu_pd(p1 + o), xc));
+      a3 = _mm256_add_pd(a3, _mm256_mul_pd(_mm256_loadu_pd(p1 + o + 4), xc));
+      a4 = _mm256_add_pd(a4, _mm256_mul_pd(_mm256_loadu_pd(p2 + o), xc));
+      a5 = _mm256_add_pd(a5, _mm256_mul_pd(_mm256_loadu_pd(p2 + o + 4), xc));
+      a6 = _mm256_add_pd(a6, _mm256_mul_pd(_mm256_loadu_pd(p3 + o), xc));
+      a7 = _mm256_add_pd(a7, _mm256_mul_pd(_mm256_loadu_pd(p3 + o + 4), xc));
+    }
+    _mm256_storeu_pd(y + row0, a0);
+    _mm256_storeu_pd(y + row0 + 4, a1);
+    _mm256_storeu_pd(y + row0 + 8, a2);
+    _mm256_storeu_pd(y + row0 + 12, a3);
+    _mm256_storeu_pd(y + row0 + 16, a4);
+    _mm256_storeu_pd(y + row0 + 20, a5);
+    _mm256_storeu_pd(y + row0 + 24, a6);
+    _mm256_storeu_pd(y + row0 + 28, a7);
+  }
+#endif
+  for (; p < panels_; ++p) {
+    const std::size_t row0 = p * kPanelRows;
+    panel_matvec(&data_[p * cols * kPanelRows], row0,
+                 std::min(kPanelRows, rows_ - row0), cols, x, bias, y);
+  }
+}
+
+void PackedMatrix::matvec_batch(const double* const* xs, std::size_t batch,
+                                const double* bias,
+                                double* const* ys) const {
+  const std::size_t cols = cols_;
+  // Panel-outer / member-inner: one pass over each packed panel (the large
+  // operand — the prediction head is ~2 MB) serves the whole batch while
+  // the panel is cache-hot. Members are processed four at a time so each
+  // panel load feeds eight independent accumulator chains. Per-member
+  // arithmetic matches matvec exactly.
+  for (std::size_t p = 0; p < panels_; ++p) {
+    const std::size_t row0 = p * kPanelRows;
+    const std::size_t live = std::min(kPanelRows, rows_ - row0);
+    const double* panel = &data_[p * cols * kPanelRows];
+    std::size_t b = 0;
+#if defined(__AVX2__)
+    if (live == kPanelRows) {
+      for (; b + 4 <= batch; b += 4) {
+        const double* x0 = xs[b];
+        const double* x1 = xs[b + 1];
+        const double* x2 = xs[b + 2];
+        const double* x3 = xs[b + 3];
+        __m256d blo;
+        __m256d bhi;
+        if (bias != nullptr) {
+          blo = _mm256_loadu_pd(bias + row0);
+          bhi = _mm256_loadu_pd(bias + row0 + 4);
+        } else {
+          blo = bhi = _mm256_setzero_pd();
+        }
+        __m256d a0 = blo, a1 = bhi, a2 = blo, a3 = bhi;
+        __m256d a4 = blo, a5 = bhi, a6 = blo, a7 = bhi;
+        for (std::size_t c = 0; c < cols; ++c) {
+          const std::size_t o = c * kPanelRows;
+          const __m256d wlo = _mm256_loadu_pd(panel + o);
+          const __m256d whi = _mm256_loadu_pd(panel + o + 4);
+          const __m256d c0 = _mm256_set1_pd(x0[c]);
+          const __m256d c1 = _mm256_set1_pd(x1[c]);
+          const __m256d c2 = _mm256_set1_pd(x2[c]);
+          const __m256d c3 = _mm256_set1_pd(x3[c]);
+          a0 = _mm256_add_pd(a0, _mm256_mul_pd(wlo, c0));
+          a1 = _mm256_add_pd(a1, _mm256_mul_pd(whi, c0));
+          a2 = _mm256_add_pd(a2, _mm256_mul_pd(wlo, c1));
+          a3 = _mm256_add_pd(a3, _mm256_mul_pd(whi, c1));
+          a4 = _mm256_add_pd(a4, _mm256_mul_pd(wlo, c2));
+          a5 = _mm256_add_pd(a5, _mm256_mul_pd(whi, c2));
+          a6 = _mm256_add_pd(a6, _mm256_mul_pd(wlo, c3));
+          a7 = _mm256_add_pd(a7, _mm256_mul_pd(whi, c3));
+        }
+        _mm256_storeu_pd(ys[b] + row0, a0);
+        _mm256_storeu_pd(ys[b] + row0 + 4, a1);
+        _mm256_storeu_pd(ys[b + 1] + row0, a2);
+        _mm256_storeu_pd(ys[b + 1] + row0 + 4, a3);
+        _mm256_storeu_pd(ys[b + 2] + row0, a4);
+        _mm256_storeu_pd(ys[b + 2] + row0 + 4, a5);
+        _mm256_storeu_pd(ys[b + 3] + row0, a6);
+        _mm256_storeu_pd(ys[b + 3] + row0 + 4, a7);
+      }
+    }
+#endif
+    for (; b < batch; ++b)
+      panel_matvec(panel, row0, live, cols, xs[b], bias, ys[b]);
+  }
+}
+
+namespace {
+// int8 columns processed per SIMD iteration (and the padded-column unit).
+constexpr std::size_t kQuantStride = 16;
+}  // namespace
+
+void QuantizedMatrix::pack(const double* w, std::size_t rows,
+                           std::size_t cols) {
+  VKEY_REQUIRE(rows > 0 && cols > 0, "QuantizedMatrix::pack: empty shape");
+  rows_ = rows;
+  cols_ = cols;
+  cols_padded_ = (cols + kQuantStride - 1) / kQuantStride * kQuantStride;
+  data_.assign(rows * cols_padded_, 0);
+  row_scale_.assign(rows, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* wrow = w + r * cols;
+    double absmax = 0.0;
+    for (std::size_t c = 0; c < cols; ++c)
+      absmax = std::max(absmax, std::fabs(wrow[c]));
+    if (absmax == 0.0) continue;  // all-zero row: scale 0, weights stay 0
+    row_scale_[r] = absmax / 127.0;
+    const double inv = 127.0 / absmax;
+    std::int8_t* qrow = &data_[r * cols_padded_];
+    for (std::size_t c = 0; c < cols; ++c) {
+      const long q = std::lround(wrow[c] * inv);
+      qrow[c] = static_cast<std::int8_t>(std::clamp<long>(q, -127, 127));
+    }
+  }
+}
+
+void QuantizedMatrix::pack_pair(const double* wa, std::size_t cols_a,
+                                const double* wb, std::size_t cols_b,
+                                std::size_t rows) {
+  VKEY_REQUIRE(rows > 0 && cols_a > 0 && cols_b > 0,
+               "QuantizedMatrix::pack_pair: empty shape");
+  std::vector<double> merged(rows * (cols_a + cols_b));
+  for (std::size_t r = 0; r < rows; ++r) {
+    double* row = &merged[r * (cols_a + cols_b)];
+    std::copy(wa + r * cols_a, wa + (r + 1) * cols_a, row);
+    std::copy(wb + r * cols_b, wb + (r + 1) * cols_b, row + cols_a);
+  }
+  pack(merged.data(), rows, cols_a + cols_b);
+}
+
+double QuantizedMatrix::quantize_input(const double* x, std::size_t n,
+                                       std::int8_t* xq) {
+  double absmax = 0.0;
+  for (std::size_t c = 0; c < n; ++c)
+    absmax = std::max(absmax, std::fabs(x[c]));
+  if (absmax == 0.0) {
+    std::fill(xq, xq + n, static_cast<std::int8_t>(0));
+    return 0.0;
+  }
+  const double inv = 127.0 / absmax;
+  for (std::size_t c = 0; c < n; ++c) {
+    const long q = std::lround(x[c] * inv);
+    xq[c] = static_cast<std::int8_t>(std::clamp<long>(q, -127, 127));
+  }
+  return absmax / 127.0;
+}
+
+// int32 accumulation is exact: |acc| <= cols * 127 * 127, which even for
+// the 4096-column prediction head stays below 2^27.
+//
+// The caller's xq buffer must be padded to a kQuantStride multiple with
+// zeros (the layers size their scratch that way); the weight rows are
+// stored zero-padded, so the padded lanes contribute exact zeros.
+void QuantizedMatrix::matvec(const std::int8_t* xq, double x_scale,
+                             const double* bias, double* y) const {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const std::int8_t* qrow = &data_[r * cols_padded_];
+    std::int32_t acc = 0;
+#if defined(__AVX2__)
+    __m256i vacc = _mm256_setzero_si256();
+    for (std::size_t c = 0; c < cols_padded_; c += kQuantStride) {
+      const __m256i wv = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(qrow + c)));
+      const __m256i xv = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(xq + c)));
+      vacc = _mm256_add_epi32(vacc, _mm256_madd_epi16(wv, xv));
+    }
+    __m128i s = _mm_add_epi32(_mm256_castsi256_si128(vacc),
+                              _mm256_extracti128_si256(vacc, 1));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0x4e));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0xb1));
+    acc = _mm_cvtsi128_si32(s);
+#else
+    for (std::size_t c = 0; c < cols_; ++c)
+      acc += static_cast<std::int32_t>(qrow[c]) *
+             static_cast<std::int32_t>(xq[c]);
+#endif
+    y[r] = (bias != nullptr ? bias[r] : 0.0) +
+           row_scale_[r] * x_scale * static_cast<double>(acc);
+  }
+}
+
+namespace {
+
+// Clamped Pade(7,6) tanh: max |error| vs std::tanh is ~1e-4 (at the clamp
+// boundary), far below the KAR sensitivity the ablation table measures.
+// Branch-free, so the loops below vectorize.
+inline double tanh_poly(double x) {
+  const double xc = std::clamp(x, -4.97, 4.97);
+  const double x2 = xc * xc;
+  const double p = xc * (135135.0 + x2 * (17325.0 + x2 * (378.0 + x2)));
+  const double q =
+      135135.0 + x2 * (62370.0 + x2 * (3150.0 + x2 * 28.0));
+  return p / q;
+}
+
+}  // namespace
+
+void tanh_approx(const double* x, std::size_t n, double* y) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = tanh_poly(x[i]);
+}
+
+void sigmoid_approx(const double* x, std::size_t n, double* y) {
+  for (std::size_t i = 0; i < n; ++i)
+    y[i] = 0.5 * (1.0 + tanh_poly(0.5 * x[i]));
+}
+
+}  // namespace vkey::nn

@@ -1,5 +1,6 @@
 #include "nn/lstm.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
@@ -28,7 +29,8 @@ metrics::Histogram& lstm_infer_ms() {
 }
 
 // One cell step: the 4H x (input + hidden) affine dominates; the gate
-// nonlinearities and elementwise updates add ~10H.
+// nonlinearities and elementwise updates add ~10H. The quantized path is
+// charged the same nominal FLOPs (it does the same mathematical work).
 std::uint64_t step_flops(std::size_t input, std::size_t hidden) {
   return 2 * 4 * static_cast<std::uint64_t>(hidden) * (input + hidden) +
          10 * static_cast<std::uint64_t>(hidden);
@@ -53,80 +55,178 @@ Lstm::Lstm(std::size_t input, std::size_t hidden, vkey::Rng& rng,
   for (std::size_t j = hidden; j < 2 * hidden; ++j) b_.value[j] = 1.0;
 }
 
-void Lstm::step(const Vec& x, const Vec& h_prev, const Vec& c_prev,
-                Vec& h_out, Vec& c_out, StepCache* cache) const {
+const PackedMatrix& Lstm::packed() const {
+  // Key on the revision sum: bump() only increments, so the sum changes
+  // whenever either matrix does.
+  pack_guard_.ensure(wx_.revision + wh_.revision, [this] {
+    packed_w_.pack_pair(wx_.value.data(), input_, wh_.value.data(), hidden_,
+                        4 * hidden_);
+  });
+  return packed_w_;
+}
+
+const QuantizedMatrix& Lstm::quant() const {
+  quant_guard_.ensure(wx_.revision + wh_.revision, [this] {
+    quant_w_.pack_pair(wx_.value.data(), input_, wh_.value.data(), hidden_,
+                       4 * hidden_);
+  });
+  return quant_w_;
+}
+
+void Lstm::init_scratch(Scratch& s) const {
+  s.xh.assign(input_ + hidden_, 0.0);
+  s.z.assign(4 * hidden_, 0.0);
+  s.h.assign(hidden_, 0.0);
+  s.c.assign(hidden_, 0.0);
+  s.tc.assign(hidden_, 0.0);
+  if (quantized_) s.xq.assign(quant().padded_cols(), 0);
+}
+
+// One fused cell step. s.xh holds [x_t ; h_prev]; the single packed matvec
+// computes all 4H gate pre-activations in the exact accumulation order of
+// the naive cell (bias, then Wx columns, then Wh columns — see
+// PackedMatrix::pack_pair). Gates are evaluated in place in s.z
+// (i | f | g | o blocks); each element depends only on its own
+// pre-activation, so the value sequence matches the reference loop bit for
+// bit.
+void Lstm::step_fused(Scratch& s, StepCache* cache) const {
   const std::size_t h = hidden_;
-  Vec z(4 * h);
-  for (std::size_t j = 0; j < 4 * h; ++j) {
-    double s = b_.value[j];
-    const double* wx_row = &wx_.value[j * input_];
-    for (std::size_t k = 0; k < input_; ++k) s += wx_row[k] * x[k];
-    const double* wh_row = &wh_.value[j * h];
-    for (std::size_t k = 0; k < h; ++k) s += wh_row[k] * h_prev[k];
-    z[j] = s;
-  }
-  Vec gi(h), gf(h), gg(h), go(h), c(h), tc(h);
-  for (std::size_t k = 0; k < h; ++k) {
-    gi[k] = sigmoid(z[k]);
-    gf[k] = sigmoid(z[h + k]);
-    gg[k] = std::tanh(z[2 * h + k]);
-    go[k] = sigmoid(z[3 * h + k]);
-    c[k] = gf[k] * c_prev[k] + gi[k] * gg[k];
-    tc[k] = std::tanh(c[k]);
-  }
-  h_out.resize(h);
-  c_out = c;
-  for (std::size_t k = 0; k < h; ++k) h_out[k] = go[k] * tc[k];
+  packed().matvec(s.xh.data(), b_.value.data(), s.z.data());
+  double* z = s.z.data();
+  for (std::size_t k = 0; k < 2 * h; ++k) z[k] = sigmoid(z[k]);
+  for (std::size_t k = 2 * h; k < 3 * h; ++k) z[k] = std::tanh(z[k]);
+  for (std::size_t k = 3 * h; k < 4 * h; ++k) z[k] = sigmoid(z[k]);
+  for (std::size_t k = 0; k < h; ++k)
+    s.c[k] = z[h + k] * s.c[k] + z[k] * z[2 * h + k];
+  for (std::size_t k = 0; k < h; ++k) s.tc[k] = std::tanh(s.c[k]);
+  for (std::size_t k = 0; k < h; ++k) s.h[k] = z[3 * h + k] * s.tc[k];
   if (cache != nullptr) {
-    cache->x = x;
-    cache->h_prev = h_prev;
-    cache->c_prev = c_prev;
-    cache->i = std::move(gi);
-    cache->f = std::move(gf);
-    cache->g = std::move(gg);
-    cache->o = std::move(go);
-    cache->c = std::move(c);
-    cache->tanh_c = std::move(tc);
-    cache->h = h_out;
+    cache->i.assign(z, z + h);
+    cache->f.assign(z + h, z + 2 * h);
+    cache->g.assign(z + 2 * h, z + 3 * h);
+    cache->o.assign(z + 3 * h, z + 4 * h);
+    cache->c = s.c;
+    cache->tanh_c = s.tc;
+    cache->h = s.h;
   }
+}
+
+// The int8 variant: quantized fused affine plus polynomial gate
+// activations (see gemm.h). Same dataflow, not bit-exact.
+void Lstm::step_quantized(Scratch& s) const {
+  const std::size_t h = hidden_;
+  const QuantizedMatrix& qm = quant();
+  const double x_scale = QuantizedMatrix::quantize_input(
+      s.xh.data(), s.xh.size(), s.xq.data());
+  qm.matvec(s.xq.data(), x_scale, b_.value.data(), s.z.data());
+  double* z = s.z.data();
+  sigmoid_approx(z, 2 * h, z);
+  tanh_approx(z + 2 * h, h, z + 2 * h);
+  sigmoid_approx(z + 3 * h, h, z + 3 * h);
+  for (std::size_t k = 0; k < h; ++k)
+    s.c[k] = z[h + k] * s.c[k] + z[k] * z[2 * h + k];
+  tanh_approx(s.c.data(), h, s.tc.data());
+  for (std::size_t k = 0; k < h; ++k) s.h[k] = z[3 * h + k] * s.tc[k];
 }
 
 Seq Lstm::forward(const Seq& x) {
   const std::size_t t_len = x.size();
+  // Validate the whole sequence BEFORE touching the step/FLOP counters: a
+  // rejected pass must not account for work that never ran.
   VKEY_REQUIRE(t_len > 0, "Lstm forward on empty sequence");
+  for (const Vec& xt : x)
+    VKEY_REQUIRE(xt.size() == input_, "Lstm input width mismatch");
   lstm_steps().add(t_len);
   lstm_flops().add(t_len * step_flops(input_, hidden_));
   cache_.assign(t_len, StepCache{});
+  Scratch s;
+  init_scratch(s);
   Seq out(t_len);
-  Vec h(hidden_, 0.0), c(hidden_, 0.0);
   for (std::size_t step_idx = 0; step_idx < t_len; ++step_idx) {
     const std::size_t t = reverse_ ? t_len - 1 - step_idx : step_idx;
-    VKEY_REQUIRE(x[t].size() == input_, "Lstm input width mismatch");
-    Vec h_next, c_next;
-    step(x[t], h, c, h_next, c_next, &cache_[step_idx]);
-    h = std::move(h_next);
-    c = std::move(c_next);
-    out[t] = h;
+    std::copy(x[t].begin(), x[t].end(), s.xh.begin());
+    std::copy(s.h.begin(), s.h.end(),
+              s.xh.begin() + static_cast<std::ptrdiff_t>(input_));
+    StepCache& cc = cache_[step_idx];
+    cc.x = x[t];
+    cc.h_prev = s.h;
+    cc.c_prev = s.c;
+    step_fused(s, &cc);
+    out[t] = s.h;
   }
   return out;
 }
 
-Seq Lstm::infer(const Seq& x) const {
+void Lstm::infer_impl(const Seq& x, Seq& out, std::size_t offset) const {
   const std::size_t t_len = x.size();
   VKEY_REQUIRE(t_len > 0, "Lstm infer on empty sequence");
+  for (const Vec& xt : x)
+    VKEY_REQUIRE(xt.size() == input_, "Lstm input width mismatch");
+  VKEY_REQUIRE(out.size() == t_len, "Lstm infer output length mismatch");
+  for (const Vec& ot : out)
+    VKEY_REQUIRE(ot.size() >= offset + hidden_,
+                 "Lstm infer output width mismatch");
   lstm_steps().add(t_len);
   lstm_flops().add(t_len * step_flops(input_, hidden_));
   trace::ScopedTimer timer(lstm_infer_ms());
+  Scratch s;
+  init_scratch(s);
+  for (std::size_t step_idx = 0; step_idx < t_len; ++step_idx) {
+    const std::size_t t = reverse_ ? t_len - 1 - step_idx : step_idx;
+    std::copy(x[t].begin(), x[t].end(), s.xh.begin());
+    std::copy(s.h.begin(), s.h.end(),
+              s.xh.begin() + static_cast<std::ptrdiff_t>(input_));
+    if (quantized_) {
+      step_quantized(s);
+    } else {
+      step_fused(s, nullptr);
+    }
+    std::copy(s.h.begin(), s.h.end(),
+              out[t].begin() + static_cast<std::ptrdiff_t>(offset));
+  }
+}
+
+Seq Lstm::infer(const Seq& x) const {
+  Seq out(x.size(), Vec(hidden_));
+  infer_impl(x, out, 0);
+  return out;
+}
+
+void Lstm::infer_into(const Seq& x, Seq& out, std::size_t offset) const {
+  infer_impl(x, out, offset);
+}
+
+Seq Lstm::infer_reference(const Seq& x) const {
+  const std::size_t t_len = x.size();
+  VKEY_REQUIRE(t_len > 0, "Lstm infer on empty sequence");
+  const std::size_t h = hidden_;
   Seq out(t_len);
-  Vec h(hidden_, 0.0), c(hidden_, 0.0);
+  Vec hv(h, 0.0), cv(h, 0.0);
   for (std::size_t step_idx = 0; step_idx < t_len; ++step_idx) {
     const std::size_t t = reverse_ ? t_len - 1 - step_idx : step_idx;
     VKEY_REQUIRE(x[t].size() == input_, "Lstm input width mismatch");
-    Vec h_next, c_next;
-    step(x[t], h, c, h_next, c_next, nullptr);
-    h = std::move(h_next);
-    c = std::move(c_next);
-    out[t] = h;
+    Vec z(4 * h);
+    for (std::size_t j = 0; j < 4 * h; ++j) {
+      double sum = b_.value[j];
+      const double* wx_row = &wx_.value[j * input_];
+      for (std::size_t k = 0; k < input_; ++k) sum += wx_row[k] * x[t][k];
+      const double* wh_row = &wh_.value[j * h];
+      for (std::size_t k = 0; k < h; ++k) sum += wh_row[k] * hv[k];
+      z[j] = sum;
+    }
+    Vec gi(h), gf(h), gg(h), go(h), c(h), tc(h);
+    for (std::size_t k = 0; k < h; ++k) {
+      gi[k] = sigmoid(z[k]);
+      gf[k] = sigmoid(z[h + k]);
+      gg[k] = std::tanh(z[2 * h + k]);
+      go[k] = sigmoid(z[3 * h + k]);
+      c[k] = gf[k] * cv[k] + gi[k] * gg[k];
+      tc[k] = std::tanh(c[k]);
+    }
+    cv = c;
+    hv.resize(h);
+    for (std::size_t k = 0; k < h; ++k) hv[k] = go[k] * tc[k];
+    out[t] = hv;
   }
   return out;
 }
@@ -160,11 +260,13 @@ Seq Lstm::backward(const Seq& grad_out) {
       dz[3 * h + k] = d_o * dsigmoid_from_y(cc.o[k]);
     }
 
-    // Parameter gradients and upstream gradients.
+    // Parameter gradients and upstream gradients. No data-dependent
+    // skipping here: a `g == 0` shortcut would make the accumulation order
+    // depend on runtime values, which a blocked kernel (and the 1-vs-N-lane
+    // bit-exactness contract) could not reproduce.
     std::fill(dh_rec.begin(), dh_rec.end(), 0.0);
     for (std::size_t j = 0; j < 4 * h; ++j) {
       const double g = dz[j];
-      if (g == 0.0) continue;
       b_.grad[j] += g;
       double* gwx = &wx_.grad[j * input_];
       const double* wx_row = &wx_.value[j * input_];
@@ -201,8 +303,17 @@ Seq BiLstm::forward(const Seq& x) {
 }
 
 Seq BiLstm::infer(const Seq& x) const {
-  const Seq hf = fwd_.infer(x);
-  const Seq hb = bwd_.infer(x);
+  // Each direction writes its half of the concatenated output directly —
+  // no per-direction temporaries, no concat copy.
+  Seq out(x.size(), Vec(2 * hidden_));
+  fwd_.infer_into(x, out, 0);
+  bwd_.infer_into(x, out, hidden_);
+  return out;
+}
+
+Seq BiLstm::infer_reference(const Seq& x) const {
+  const Seq hf = fwd_.infer_reference(x);
+  const Seq hb = bwd_.infer_reference(x);
   Seq out(x.size(), Vec(2 * hidden_));
   for (std::size_t t = 0; t < x.size(); ++t) {
     std::copy(hf[t].begin(), hf[t].end(), out[t].begin());
@@ -212,8 +323,27 @@ Seq BiLstm::infer(const Seq& x) const {
   return out;
 }
 
+std::vector<Seq> BiLstm::infer_batch(std::span<const Seq> xs) const {
+  std::vector<Seq> out;
+  out.reserve(xs.size());
+  for (const Seq& x : xs) out.push_back(infer(x));
+  return out;
+}
+
+void BiLstm::set_quantized(bool quantized) {
+  fwd_.set_quantized(quantized);
+  bwd_.set_quantized(quantized);
+}
+
 Seq BiLstm::backward(const Seq& grad_out) {
   const std::size_t t_len = grad_out.size();
+  // Guard like Lstm::backward does: reject an empty gradient and a
+  // gradient whose length disagrees with the cached forward pass before
+  // any indexing happens.
+  VKEY_REQUIRE(t_len > 0, "BiLstm backward on empty gradient");
+  VKEY_REQUIRE(
+      fwd_.cached_steps() == t_len && bwd_.cached_steps() == t_len,
+      "BiLstm backward/forward length mismatch");
   Seq gf(t_len, Vec(hidden_)), gb(t_len, Vec(hidden_));
   for (std::size_t t = 0; t < t_len; ++t) {
     VKEY_REQUIRE(grad_out[t].size() == 2 * hidden_,

@@ -5,11 +5,19 @@
 // constructor parameters: the architecture is the paper's; the default
 // hidden width used by tests/benches is smaller because this repository
 // trains on a single CPU core (see DESIGN.md "NN sizing").
+//
+// The cell's 4H-gate affine runs on the fused packed matrix [Wx | Wh]
+// (one blocked pass per step over a preallocated [x_t ; h_prev] scratch —
+// see gemm.h and DESIGN.md "NN kernel core"); the float path is
+// bit-identical to the retained naive reference (infer_reference), and an
+// optional int8 path trades exactness for speed behind set_quantized().
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
+#include "nn/gemm.h"
 #include "nn/param.h"
 
 namespace vkey::nn {
@@ -30,12 +38,29 @@ class Lstm {
   /// Inference-only forward (no caching).
   Seq infer(const Seq& x) const;
 
+  /// Inference writing each step's hidden state into
+  /// out[t][offset, offset + hidden) of a caller-sized sequence — lets
+  /// BiLstm fill both halves of its concatenated output without a copy.
+  /// Same arithmetic as infer(), bit for bit.
+  void infer_into(const Seq& x, Seq& out, std::size_t offset) const;
+
+  /// The original per-step naive loops, retained as the bit-exactness
+  /// oracle for the fused packed cell (tests only; no metrics, no timer).
+  Seq infer_reference(const Seq& x) const;
+
+  /// Route infer paths through the int8 fused cell with polynomial gate
+  /// activations (forward()/backward() stay float). NOT bit-exact.
+  void set_quantized(bool quantized) { quantized_ = quantized; }
+  bool quantized() const { return quantized_; }
+
   /// BPTT for the most recent forward(). `grad_out` is dL/dh in time order;
   /// returns dL/dx in time order. Gradients accumulate into the parameters.
   Seq backward(const Seq& grad_out);
 
   std::size_t input_size() const { return input_; }
   std::size_t hidden_size() const { return hidden_; }
+  /// Steps cached by the most recent forward() (0 before any forward).
+  std::size_t cached_steps() const { return cache_.size(); }
 
   std::vector<Parameter*> parameters() { return {&wx_, &wh_, &b_}; }
 
@@ -45,18 +70,41 @@ class Lstm {
     Vec i, f, g, o, c, tanh_c, h;
   };
 
-  /// Core cell step; writes the cache if `cache` is non-null.
-  void step(const Vec& x, const Vec& h_prev, const Vec& c_prev, Vec& h_out,
-            Vec& c_out, StepCache* cache) const;
+  /// Preallocated per-sequence scratch for the fused cell (one allocation
+  /// per call instead of ~8 per step).
+  struct Scratch {
+    Vec xh;   ///< [x_t ; h_prev], input_ + hidden_ wide
+    Vec z;    ///< fused 4H gate pre-activations
+    Vec h;    ///< running hidden state
+    Vec c;    ///< running cell state
+    Vec tc;   ///< tanh(c)
+    std::vector<std::int8_t> xq;  ///< quantized xh (int8 path)
+  };
+
+  void init_scratch(Scratch& s) const;
+  /// One fused cell step: reads s.xh, updates s.h / s.c in place.
+  void step_fused(Scratch& s, StepCache* cache) const;
+  void step_quantized(Scratch& s) const;
+  /// Shared full-sequence driver for infer()/infer_into().
+  void infer_impl(const Seq& x, Seq& out, std::size_t offset) const;
+  const PackedMatrix& packed() const;
+  const QuantizedMatrix& quant() const;
 
   std::size_t input_ = 0;
   std::size_t hidden_ = 0;
   bool reverse_ = false;
+  bool quantized_ = false;
   // Gate order within the stacked matrices: input, forget, cell, output.
   Parameter wx_;  // 4H x input
   Parameter wh_;  // 4H x hidden
   Parameter b_;   // 4H  (forget-gate bias initialized to 1)
   std::vector<StepCache> cache_;  // indexed by processing step
+  // Fused [Wx | Wh] packed layouts, keyed on the parameter revisions
+  // (see gemm.h; the key is the revision sum, monotone under bump()).
+  mutable PackedMatrix packed_w_;
+  mutable QuantizedMatrix quant_w_;
+  mutable PackGuard pack_guard_;
+  mutable PackGuard quant_guard_;
 };
 
 /// Bidirectional LSTM: forward and backward passes concatenated per step,
@@ -67,7 +115,20 @@ class BiLstm {
 
   Seq forward(const Seq& x);
   Seq infer(const Seq& x) const;
+  /// Batched inference over independent sequences; bit-identical to
+  /// calling infer() per element, in order. (The LSTM weights are small
+  /// enough to stay cache-resident, so the batch win lives in the Dense
+  /// heads downstream — this entry point exists so whole-pipeline callers
+  /// can hand a batch through one call.)
+  std::vector<Seq> infer_batch(std::span<const Seq> xs) const;
+  /// Naive-reference BiLSTM inference (per-direction reference cells plus
+  /// the original concat loop) — the bit-exactness oracle for infer().
+  Seq infer_reference(const Seq& x) const;
   Seq backward(const Seq& grad_out);
+
+  /// Propagates to both directions (infer paths only; see Lstm).
+  void set_quantized(bool quantized);
+  bool quantized() const { return fwd_.quantized(); }
 
   std::size_t output_size() const { return 2 * hidden_; }
   std::size_t hidden_size() const { return hidden_; }

@@ -18,6 +18,7 @@ void Sgd::step(std::size_t batch_size) {
     for (std::size_t i = 0; i < p->size(); ++i) {
       p->value[i] -= lr_ * p->grad[i] * scale;
     }
+    p->bump();
     p->zero_grad();
   }
 }
@@ -53,6 +54,7 @@ void Adam::step(std::size_t batch_size) {
       const double vhat = p->adam_v[i] / bc2;
       p->value[i] -= lr_ * mhat / (std::sqrt(vhat) + epsilon_);
     }
+    p->bump();
     p->zero_grad();
   }
 }

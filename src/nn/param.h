@@ -3,9 +3,15 @@
 // A Parameter owns its value vector, an accumulated gradient (summed across a
 // mini-batch of backward passes) and lazily-allocated Adam moment buffers.
 // Layers expose their parameters so an optimizer can update them in place.
+//
+// `revision` keys the packed-weight caches (see gemm.h): every mutation of
+// `value` must be followed by bump() so layers repack before the next
+// forward. The optimizers and serialize::restore do this; code that writes
+// `value` elements directly (tests, mostly) must call bump() itself.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace vkey::nn {
@@ -18,12 +24,17 @@ struct Parameter {
   // Adam moments (allocated by the optimizer on first use).
   Vec adam_m;
   Vec adam_v;
+  /// Value-mutation counter, starts at 1 so 0 can mean "never packed".
+  std::uint64_t revision = 1;
 
   explicit Parameter(std::size_t n = 0) : value(n, 0.0), grad(n, 0.0) {}
 
   std::size_t size() const { return value.size(); }
 
   void zero_grad() { std::fill(grad.begin(), grad.end(), 0.0); }
+
+  /// Declare that `value` changed; packed-layout caches become stale.
+  void bump() { ++revision; }
 };
 
 }  // namespace vkey::nn

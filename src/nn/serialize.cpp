@@ -26,6 +26,7 @@ void restore(const std::vector<Parameter*>& params,
     std::copy(snap.begin() + static_cast<std::ptrdiff_t>(off),
               snap.begin() + static_cast<std::ptrdiff_t>(off + p->size()),
               p->value.begin());
+    p->bump();
     off += p->size();
   }
 }

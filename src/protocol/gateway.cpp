@@ -46,9 +46,14 @@ GatewayEngine::GatewayEngine(const GatewayConfig& config,
   VKEY_REQUIRE(static_cast<bool>(material_), "probe material source required");
 }
 
-SessionOutcome GatewayEngine::simulate(std::uint64_t device,
-                                       std::size_t flight_capacity,
-                                       std::string* dump) const {
+void GatewayEngine::set_batch_material(BatchMaterialFn prefetch) {
+  VKEY_REQUIRE(!ran_, "batch material must be installed before run()");
+  batch_material_ = std::move(prefetch);
+}
+
+SessionOutcome GatewayEngine::simulate(
+    std::uint64_t device, std::size_t flight_capacity, std::string* dump,
+    const std::pair<BitVec, BitVec>* attempt0) const {
   ReliabilityConfig rcfg = cfg_.reliability;
   // Per-device fault/backoff streams: device k's loss pattern must be
   // independent of device j's and of the lane that simulates it.
@@ -65,7 +70,10 @@ SessionOutcome GatewayEngine::simulate(std::uint64_t device,
   PublicChannel base;
   const AgreementReport report = run_reliable_key_agreement_on(
       sub, base, reconciler_, rcfg,
-      [this, device](std::size_t attempt) {
+      [this, device, attempt0](std::size_t attempt) {
+        // Recovery attempts (and post-mortem re-simulation, which passes no
+        // prefetch) fall back to the per-attempt source.
+        if (attempt == 0 && attempt0 != nullptr) return *attempt0;
         return material_(device, attempt);
       });
 
@@ -90,13 +98,24 @@ void GatewayEngine::ensure_outcome(std::uint64_t device) {
     const std::size_t begin = simulated_;
     const std::size_t end =
         std::min(cfg_.sessions, begin + cfg_.sim_batch);
+    // Batched attempt-0 prefetch (when installed) runs on this thread once
+    // per sim_batch, so a predictor-backed source amortizes its blocked
+    // batch inference across the whole batch before the pool fans out.
+    std::vector<std::pair<BitVec, BitVec>> prefetched;
+    if (batch_material_) {
+      prefetched = batch_material_(begin, end - begin);
+      VKEY_REQUIRE(prefetched.size() == end - begin,
+                   "batch material returned wrong count");
+    }
     // Arrival-order batches through the pool: each lane writes only its
     // index-owned outcome slot, so the array is bit-identical for any lane
     // count (DESIGN.md §9 contract).
     parallel::parallel_for(
         end - begin,
-        [this, begin](std::size_t i) {
-          outcomes_[begin + i] = simulate(begin + i, 0, nullptr);
+        [this, begin, &prefetched](std::size_t i) {
+          outcomes_[begin + i] =
+              simulate(begin + i, 0, nullptr,
+                       prefetched.empty() ? nullptr : &prefetched[i]);
         },
         cfg_.threads);
     simulated_ = end;
@@ -246,7 +265,7 @@ GatewayReport GatewayEngine::finalize() {
                                      ? cfg_.reliability.flight_capacity
                                      : 512;
     std::string dump;
-    simulate(d, capacity, &dump);
+    simulate(d, capacity, &dump, nullptr);
     rep.failure_dumps.push_back("device " + std::to_string(d) + ": " + dump);
   }
   rep.failures_suppressed = failed_seen - rep.failure_dumps.size();

@@ -120,9 +120,25 @@ class GatewayEngine {
       std::function<std::pair<BitVec, BitVec>(std::uint64_t device,
                                               std::size_t attempt)>;
 
+  /// Optional batched prefetch of *attempt-0* material for a contiguous
+  /// device range [first_device, first_device + count). Called on the
+  /// lifecycle thread immediately before each sim_batch pool fan-out, so a
+  /// predictor-backed source can run one blocked batch inference per
+  /// sim_batch instead of one per session. Must return exactly `count`
+  /// pairs, and each pair MUST equal material(device, 0) — recovery
+  /// attempts (>= 1) and post-run failure re-simulation still go through
+  /// MaterialFn, and the determinism contract (byte-identical post-mortems)
+  /// relies on the two sources agreeing.
+  using BatchMaterialFn = std::function<std::vector<std::pair<BitVec, BitVec>>(
+      std::uint64_t first_device, std::size_t count)>;
+
   GatewayEngine(const GatewayConfig& config,
                 const core::AutoencoderReconciler& reconciler,
                 MaterialFn material);
+
+  /// Install the batched attempt-0 prefetch (see BatchMaterialFn). Must be
+  /// called before run(); pass nullptr to clear.
+  void set_batch_material(BatchMaterialFn prefetch);
 
   /// Drive the full lifecycle of every session to eviction and fold the
   /// report. One-shot: a second call aborts.
@@ -146,13 +162,17 @@ class GatewayEngine {
   /// Simulate devices in arrival order, in pool batches, until `device` has
   /// an outcome.
   void ensure_outcome(std::uint64_t device);
+  /// `attempt0` (optional) overrides material for attempt 0 only — the slot
+  /// a BatchMaterialFn prefetched for this device.
   SessionOutcome simulate(std::uint64_t device, std::size_t flight_capacity,
-                          std::string* dump) const;
+                          std::string* dump,
+                          const std::pair<BitVec, BitVec>* attempt0) const;
   GatewayReport finalize();
 
   GatewayConfig cfg_;
   const core::AutoencoderReconciler& reconciler_;
   MaterialFn material_;
+  BatchMaterialFn batch_material_;  ///< optional attempt-0 prefetch
   SimClock clock_;  ///< THE shared gateway timeline
   SessionRegistry registry_;
   std::vector<SessionOutcome> outcomes_;

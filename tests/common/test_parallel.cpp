@@ -18,6 +18,7 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "nn/dense.h"
 
 namespace vkey::parallel {
 namespace {
@@ -159,6 +160,31 @@ TEST(Parallel, DefaultThreadsOverrideAndRestore) {
   EXPECT_EQ(default_threads(), 3u);
   set_default_threads(0);  // restore
   EXPECT_EQ(default_threads(), startup);
+}
+
+TEST(Parallel, ConcurrentPackedWeightRepackIsRaceFree) {
+  // Many lanes hit a layer whose packed-weight cache is stale at the same
+  // time: PackGuard (nn/gemm.h) must let exactly one lane repack while the
+  // rest either wait or read the fresh cache — TSan watches the orderings
+  // here, and every lane must still see bit-exact results.
+  vkey::Rng rng(42);
+  nn::Dense layer(17, 23, rng, nn::Activation::kTanh);
+  const nn::Vec x = [&] {
+    nn::Vec v(17);
+    for (double& e : v) e = rng.uniform(-1.0, 1.0);
+    return v;
+  }();
+  for (int round = 0; round < 4; ++round) {
+    // Stale the cache between rounds through the sanctioned bump() path.
+    nn::Parameter* w = layer.parameters()[0];
+    w->value[static_cast<std::size_t>(round)] += 0.125;
+    w->bump();
+    const nn::Vec want = layer.infer_reference(x);
+    std::vector<nn::Vec> got(64);
+    parallel_for(
+        got.size(), [&](std::size_t i) { got[i] = layer.infer(x); }, 8);
+    for (const auto& y : got) EXPECT_EQ(y, want);
+  }
 }
 
 }  // namespace

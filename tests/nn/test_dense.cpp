@@ -90,11 +90,15 @@ void check_gradients() {
   for (Parameter* p : d.parameters()) {
     for (std::size_t i = 0; i < p->size(); ++i) {
       const double saved = p->value[i];
+      // Direct value edits must bump() so the packed-weight cache repacks.
       p->value[i] = saved + eps;
+      p->bump();
       const double up = loss_of();
       p->value[i] = saved - eps;
+      p->bump();
       const double down = loss_of();
       p->value[i] = saved;
+      p->bump();
       const double numeric = (up - down) / (2.0 * eps);
       EXPECT_NEAR(p->grad[i], numeric, 1e-5)
           << "param element " << i;

@@ -1,0 +1,426 @@
+// Golden-vector suite for the blocked NN kernels (gemm.h).
+//
+// The contract under test (DESIGN.md "NN kernel core"): the packed float
+// kernels are BIT-identical to the retained naive reference on every shape
+// the layers use — including ragged panel tails — and the batched entry
+// points are bit-identical to their sequential counterparts. The int8 path
+// is checked against explicit error bounds instead.
+#include "nn/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "nn/dense.h"
+#include "nn/lstm.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+
+namespace vkey::nn {
+namespace {
+
+std::vector<double> random_vec(std::size_t n, vkey::Rng& rng) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform(-2.0, 2.0);
+  return v;
+}
+
+// Shapes exercising every panel-tail case: sub-panel, exact panel,
+// multi-panel with ragged tail, and the 4-panel main-loop boundary.
+struct Shape {
+  std::size_t rows, cols;
+};
+const Shape kShapes[] = {{1, 1},  {3, 2},   {7, 5},    {8, 8},
+                         {9, 3},  {16, 16}, {31, 31},  {32, 7},
+                         {33, 17}, {40, 64}, {100, 37}, {64, 129}};
+
+TEST(ReferenceMatvec, HandComputedCase) {
+  // w = [[1, 2], [3, 4]], x = [5, 6], bias = [10, 20].
+  const double w[] = {1.0, 2.0, 3.0, 4.0};
+  const double x[] = {5.0, 6.0};
+  const double bias[] = {10.0, 20.0};
+  double y[2];
+  reference_matvec(w, 2, 2, x, bias, y);
+  EXPECT_EQ(y[0], 10.0 + 5.0 + 12.0);
+  EXPECT_EQ(y[1], 20.0 + 15.0 + 24.0);
+}
+
+TEST(PackedMatrix, MatvecBitExactOnAllShapes) {
+  vkey::Rng rng(101);
+  for (const auto& sh : kShapes) {
+    const auto w = random_vec(sh.rows * sh.cols, rng);
+    const auto x = random_vec(sh.cols, rng);
+    const auto bias = random_vec(sh.rows, rng);
+    std::vector<double> ref(sh.rows), got(sh.rows);
+    reference_matvec(w.data(), sh.rows, sh.cols, x.data(), bias.data(),
+                     ref.data());
+    PackedMatrix pm;
+    pm.pack(w.data(), sh.rows, sh.cols);
+    EXPECT_EQ(pm.rows(), sh.rows);
+    EXPECT_EQ(pm.cols(), sh.cols);
+    pm.matvec(x.data(), bias.data(), got.data());
+    for (std::size_t r = 0; r < sh.rows; ++r) {
+      // Bitwise equality, not EXPECT_NEAR: the kernel contract is exact.
+      EXPECT_EQ(ref[r], got[r]) << sh.rows << "x" << sh.cols << " row " << r;
+    }
+  }
+}
+
+TEST(PackedMatrix, NullBiasStartsAtZero) {
+  vkey::Rng rng(102);
+  const auto w = random_vec(33 * 17, rng);
+  const auto x = random_vec(17, rng);
+  std::vector<double> ref(33), got(33);
+  const std::vector<double> zero_bias(33, 0.0);
+  reference_matvec(w.data(), 33, 17, x.data(), zero_bias.data(), ref.data());
+  PackedMatrix pm;
+  pm.pack(w.data(), 33, 17);
+  pm.matvec(x.data(), nullptr, got.data());
+  for (std::size_t r = 0; r < 33; ++r) EXPECT_EQ(ref[r], got[r]);
+}
+
+TEST(PackedMatrix, PackPairMatchesColumnConcatenation) {
+  vkey::Rng rng(103);
+  const std::size_t rows = 28, ca = 3, cb = 7;
+  const auto wa = random_vec(rows * ca, rng);
+  const auto wb = random_vec(rows * cb, rng);
+  // Build the explicit [wa | wb] row-major concatenation.
+  std::vector<double> cat(rows * (ca + cb));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < ca; ++c) cat[r * (ca + cb) + c] = wa[r * ca + c];
+    for (std::size_t c = 0; c < cb; ++c)
+      cat[r * (ca + cb) + ca + c] = wb[r * cb + c];
+  }
+  const auto x = random_vec(ca + cb, rng);
+  const auto bias = random_vec(rows, rng);
+  std::vector<double> want(rows), got(rows);
+  PackedMatrix whole, paired;
+  whole.pack(cat.data(), rows, ca + cb);
+  paired.pack_pair(wa.data(), ca, wb.data(), cb, rows);
+  whole.matvec(x.data(), bias.data(), want.data());
+  paired.matvec(x.data(), bias.data(), got.data());
+  EXPECT_EQ(want, got);
+}
+
+TEST(PackedMatrix, BatchedMatvecBitEqualsSequential) {
+  vkey::Rng rng(104);
+  // Batch sizes around the member-quad boundary (1..6) on a ragged shape.
+  const std::size_t rows = 37, cols = 19;
+  const auto w = random_vec(rows * cols, rng);
+  const auto bias = random_vec(rows, rng);
+  PackedMatrix pm;
+  pm.pack(w.data(), rows, cols);
+  for (std::size_t batch = 1; batch <= 6; ++batch) {
+    std::vector<std::vector<double>> xs(batch), seq(batch), bat(batch);
+    std::vector<const double*> xp(batch);
+    std::vector<double*> yp(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      xs[b] = random_vec(cols, rng);
+      seq[b].resize(rows);
+      bat[b].resize(rows);
+      pm.matvec(xs[b].data(), bias.data(), seq[b].data());
+      xp[b] = xs[b].data();
+      yp[b] = bat[b].data();
+    }
+    pm.matvec_batch(xp.data(), batch, bias.data(), yp.data());
+    for (std::size_t b = 0; b < batch; ++b) {
+      EXPECT_EQ(seq[b], bat[b]) << "batch " << batch << " member " << b;
+    }
+  }
+}
+
+// --- Dense layer golden vectors ---
+
+TEST(DenseGolden, InferBitEqualsNaiveReference) {
+  for (auto act : {Activation::kNone, Activation::kSigmoid, Activation::kTanh,
+                   Activation::kRelu}) {
+    vkey::Rng rng(201);
+    Dense d(37, 29, rng, act);
+    vkey::Rng xr(202);
+    for (int trial = 0; trial < 4; ++trial) {
+      const Vec x = random_vec(37, xr);
+      EXPECT_EQ(d.infer(x), d.infer_reference(x));
+    }
+  }
+}
+
+TEST(DenseGolden, InferBatchBitEqualsSequential) {
+  vkey::Rng rng(203);
+  Dense d(24, 40, rng, Activation::kTanh);
+  vkey::Rng xr(204);
+  std::vector<Vec> xs;
+  std::vector<const Vec*> ptrs;
+  for (int b = 0; b < 5; ++b) xs.push_back(random_vec(24, xr));
+  for (const auto& x : xs) ptrs.push_back(&x);
+  const auto batched = d.infer_batch(ptrs);
+  ASSERT_EQ(batched.size(), xs.size());
+  for (std::size_t b = 0; b < xs.size(); ++b) {
+    EXPECT_EQ(batched[b], d.infer(xs[b])) << "member " << b;
+  }
+}
+
+TEST(DenseGolden, SerializeRoundTripRepacksCache) {
+  vkey::Rng rng(205);
+  Dense d(9, 11, rng);
+  const Vec x = random_vec(9, rng);
+  const Vec before = d.infer(x);  // warm the packed cache
+
+  const auto saved = snapshot(d.parameters());
+  // Perturb through the bump-aware restore path, then restore the original.
+  auto perturbed = saved;
+  for (double& v : perturbed) v += 0.25;
+  restore(d.parameters(), perturbed);
+  EXPECT_NE(d.infer(x), before);  // stale cache would return `before`
+  EXPECT_EQ(d.infer(x), d.infer_reference(x));
+  restore(d.parameters(), saved);
+  EXPECT_EQ(d.infer(x), before);
+}
+
+TEST(DenseGolden, OptimizerStepRepacksCache) {
+  vkey::Rng rng(206);
+  Dense d(6, 6, rng);
+  const Vec x = random_vec(6, rng);
+  (void)d.infer(x);  // warm the packed cache
+  d.forward(x);
+  d.backward(Vec(6, 1.0));
+  Sgd opt(d.parameters(), 0.1);
+  opt.step(1);
+  EXPECT_EQ(d.infer(x), d.infer_reference(x));
+}
+
+// --- LSTM / BiLSTM golden vectors ---
+
+Seq random_seq(std::size_t t_len, std::size_t width, vkey::Rng& rng) {
+  Seq s(t_len);
+  for (auto& step : s) step = random_vec(width, rng);
+  return s;
+}
+
+TEST(LstmGolden, FusedInferBitEqualsNaiveReference) {
+  vkey::Rng rng(301);
+  Lstm lstm(3, 13, rng);  // 4H = 52: ragged panel tail
+  vkey::Rng xr(302);
+  for (std::size_t t_len : {1u, 2u, 9u}) {
+    const Seq x = random_seq(t_len, 3, xr);
+    EXPECT_EQ(lstm.infer(x), lstm.infer_reference(x));
+  }
+}
+
+TEST(LstmGolden, ReverseFusedInferBitEqualsNaiveReference) {
+  vkey::Rng rng(303);
+  Lstm lstm(2, 5, rng, /*reverse=*/true);
+  vkey::Rng xr(304);
+  const Seq x = random_seq(6, 2, xr);
+  EXPECT_EQ(lstm.infer(x), lstm.infer_reference(x));
+}
+
+TEST(BiLstmGolden, InferBitEqualsNaiveReference) {
+  vkey::Rng rng(305);
+  BiLstm bi(3, 8, rng);
+  vkey::Rng xr(306);
+  const Seq x = random_seq(7, 3, xr);
+  EXPECT_EQ(bi.infer(x), bi.infer_reference(x));
+}
+
+TEST(BiLstmGolden, InferBatchBitEqualsSequential) {
+  vkey::Rng rng(307);
+  BiLstm bi(2, 6, rng);
+  vkey::Rng xr(308);
+  std::vector<Seq> xs;
+  for (int b = 0; b < 3; ++b) xs.push_back(random_seq(5, 2, xr));
+  const auto batched = bi.infer_batch(xs);
+  ASSERT_EQ(batched.size(), xs.size());
+  for (std::size_t b = 0; b < xs.size(); ++b) {
+    EXPECT_EQ(batched[b], bi.infer(xs[b]));
+  }
+}
+
+// --- int8 quantized path: bounded error, never bit-exactness ---
+
+TEST(QuantizedMatrix, MatvecWithinQuantizationErrorBound) {
+  vkey::Rng rng(401);
+  const std::size_t rows = 21, cols = 33;
+  const auto w = random_vec(rows * cols, rng);
+  const auto x = random_vec(cols, rng);
+  const auto bias = random_vec(rows, rng);
+  std::vector<double> ref(rows), got(rows);
+  reference_matvec(w.data(), rows, cols, x.data(), bias.data(), ref.data());
+
+  QuantizedMatrix qm;
+  qm.pack(w.data(), rows, cols);
+  std::vector<std::int8_t> xq(qm.padded_cols(), 0);
+  const double xs = QuantizedMatrix::quantize_input(x.data(), cols, xq.data());
+  qm.matvec(xq.data(), xs, bias.data(), got.data());
+
+  // Worst-case per-element rounding is 0.5 steps for the weight and 0.5 for
+  // the input; a loose per-row bound of cols * step_w * step_x magnitudes.
+  double max_w = 0.0, max_x = 0.0;
+  for (double v : w) max_w = std::max(max_w, std::fabs(v));
+  for (double v : x) max_x = std::max(max_x, std::fabs(v));
+  const double bound =
+      static_cast<double>(cols) * (max_w / 127.0) * max_x * 1.5;
+  for (std::size_t r = 0; r < rows; ++r) {
+    EXPECT_NEAR(got[r], ref[r], bound) << "row " << r;
+  }
+}
+
+TEST(QuantizedMatrix, ZeroInputVectorGivesBias) {
+  vkey::Rng rng(402);
+  const auto w = random_vec(5 * 4, rng);
+  const auto bias = random_vec(5, rng);
+  QuantizedMatrix qm;
+  qm.pack(w.data(), 5, 4);
+  std::vector<std::int8_t> xq(qm.padded_cols(), 0);
+  const std::vector<double> zero(4, 0.0);
+  const double xs = QuantizedMatrix::quantize_input(zero.data(), 4, xq.data());
+  EXPECT_EQ(xs, 0.0);
+  std::vector<double> y(5);
+  qm.matvec(xq.data(), xs, bias.data(), y.data());
+  for (std::size_t r = 0; r < 5; ++r) EXPECT_EQ(y[r], bias[r]);
+}
+
+TEST(ApproxActivations, WithinAdvertisedErrorBounds) {
+  // The Pade(7,6) clamped tanh promises |err| < 1e-4 over the reals and the
+  // derived sigmoid inherits half of it (plus exact saturation far out).
+  std::vector<double> xs, t_got, s_got;
+  for (double x = -30.0; x <= 30.0; x += 0.01) xs.push_back(x);
+  t_got.resize(xs.size());
+  s_got.resize(xs.size());
+  tanh_approx(xs.data(), xs.size(), t_got.data());
+  sigmoid_approx(xs.data(), xs.size(), s_got.data());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(t_got[i], std::tanh(xs[i]), 1e-4) << "x=" << xs[i];
+    EXPECT_NEAR(s_got[i], 1.0 / (1.0 + std::exp(-xs[i])), 1e-4)
+        << "x=" << xs[i];
+  }
+}
+
+TEST(QuantizedDense, InferTracksFloatPath) {
+  vkey::Rng rng(403);
+  Dense d(32, 24, rng, Activation::kSigmoid);
+  d.set_quantized(true);
+  EXPECT_TRUE(d.quantized());
+  vkey::Rng xr(404);
+  const Vec x = random_vec(32, xr);
+  const Vec qy = d.infer(x);
+  const Vec fy = d.infer_reference(x);
+  ASSERT_EQ(qy.size(), fy.size());
+  for (std::size_t i = 0; i < qy.size(); ++i) {
+    EXPECT_NEAR(qy[i], fy[i], 0.05) << "unit " << i;
+  }
+}
+
+TEST(QuantizedLstm, InferTracksFloatPath) {
+  vkey::Rng rng(405);
+  BiLstm bi(3, 8, rng);
+  bi.set_quantized(true);
+  EXPECT_TRUE(bi.quantized());
+  vkey::Rng xr(406);
+  const Seq x = random_seq(6, 3, xr);
+  const Seq qh = bi.infer(x);
+  const Seq fh = bi.infer_reference(x);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    for (std::size_t k = 0; k < qh[t].size(); ++k) {
+      EXPECT_NEAR(qh[t][k], fh[t][k], 0.05) << "t=" << t << " k=" << k;
+    }
+  }
+}
+
+// --- PackGuard / revision semantics ---
+
+TEST(PackGuard, RepacksOncePerRevision) {
+  PackGuard guard;
+  int repacks = 0;
+  guard.ensure(1, [&] { ++repacks; });
+  guard.ensure(1, [&] { ++repacks; });
+  EXPECT_EQ(repacks, 1);
+  guard.ensure(2, [&] { ++repacks; });
+  guard.ensure(2, [&] { ++repacks; });
+  EXPECT_EQ(repacks, 2);
+}
+
+TEST(PackGuard, CopyResetsToUnpacked) {
+  PackGuard a;
+  int repacks = 0;
+  a.ensure(5, [&] { ++repacks; });
+  PackGuard b(a);
+  b.ensure(5, [&] { ++repacks; });  // copy must not inherit freshness
+  EXPECT_EQ(repacks, 2);
+  a = b;
+  a.ensure(5, [&] { ++repacks; });
+  EXPECT_EQ(repacks, 3);
+}
+
+TEST(Parameter, RevisionStartsAtOneAndBumps) {
+  Parameter p(4);
+  EXPECT_EQ(p.revision, 1u);
+  p.bump();
+  EXPECT_EQ(p.revision, 2u);
+}
+
+// --- accounting regressions: counters must not advance on rejected calls ---
+
+TEST(Accounting, DenseCountersUnchangedOnInvalidInput) {
+  if (!metrics::enabled()) GTEST_SKIP() << "metrics disabled";
+  vkey::Rng rng(501);
+  Dense d(4, 3, rng);
+  auto& flops = metrics::Registry::global().counter("nn.dense.flops");
+  auto& calls = metrics::Registry::global().counter("nn.dense.forward_calls");
+  const auto f0 = flops.value();
+  const auto c0 = calls.value();
+  EXPECT_THROW(d.infer({1.0, 2.0}), vkey::Error);  // wrong width
+  EXPECT_EQ(flops.value(), f0);
+  EXPECT_EQ(calls.value(), c0);
+  (void)d.infer({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(calls.value(), c0 + 1);
+  EXPECT_EQ(flops.value(), f0 + 2u * 4u * 3u);
+}
+
+TEST(Accounting, LstmCountersUnchangedOnInvalidInput) {
+  if (!metrics::enabled()) GTEST_SKIP() << "metrics disabled";
+  vkey::Rng rng(502);
+  Lstm lstm(2, 4, rng);
+  auto& flops = metrics::Registry::global().counter("nn.lstm.flops");
+  auto& steps = metrics::Registry::global().counter("nn.lstm.cell_steps");
+  const auto f0 = flops.value();
+  const auto s0 = steps.value();
+  EXPECT_THROW(lstm.infer({}), vkey::Error);               // empty
+  EXPECT_THROW(lstm.infer({{1.0}}), vkey::Error);          // wrong width
+  EXPECT_THROW(lstm.infer({{1.0, 2.0}, {1.0}}), vkey::Error);  // mid-seq
+  EXPECT_THROW(lstm.forward({{1.0}}), vkey::Error);
+  EXPECT_EQ(flops.value(), f0);
+  EXPECT_EQ(steps.value(), s0);
+  (void)lstm.infer({{1.0, 2.0}, {0.5, -0.5}});
+  EXPECT_EQ(steps.value(), s0 + 2);
+}
+
+// --- BiLstm backward guards (satellite bugfix) ---
+
+TEST(BiLstmGuards, BackwardOnEmptyGradientThrows) {
+  vkey::Rng rng(601);
+  BiLstm bi(1, 3, rng);
+  EXPECT_THROW(bi.backward({}), vkey::Error);
+}
+
+TEST(BiLstmGuards, BackwardLengthMismatchThrows) {
+  vkey::Rng rng(602);
+  BiLstm bi(1, 3, rng);
+  Seq x(4, Vec{0.5});
+  (void)bi.forward(x);
+  Seq wrong_len(3, Vec(6, 0.0));  // forward cached 4 steps
+  EXPECT_THROW(bi.backward(wrong_len), vkey::Error);
+}
+
+TEST(BiLstmGuards, BackwardBeforeForwardThrows) {
+  vkey::Rng rng(603);
+  BiLstm bi(1, 3, rng);
+  EXPECT_THROW(bi.backward(Seq(2, Vec(6, 0.0))), vkey::Error);
+}
+
+}  // namespace
+}  // namespace vkey::nn

@@ -97,11 +97,15 @@ TEST(Lstm, GradientCheck) {
     // Sample a subset of indices to keep the test fast.
     for (std::size_t i = 0; i < p->size(); i += 3) {
       const double saved = p->value[i];
+      // Direct value edits must bump() so the packed-weight cache repacks.
       p->value[i] = saved + eps;
+      p->bump();
       const double up = loss_of();
       p->value[i] = saved - eps;
+      p->bump();
       const double down = loss_of();
       p->value[i] = saved;
+      p->bump();
       EXPECT_NEAR(p->grad[i], (up - down) / (2.0 * eps), 1e-5)
           << "index " << i;
     }
@@ -177,10 +181,13 @@ TEST(BiLstm, GradientCheck) {
     for (std::size_t i = 0; i < p->size(); i += 5) {
       const double saved = p->value[i];
       p->value[i] = saved + eps;
+      p->bump();
       const double up = loss_of();
       p->value[i] = saved - eps;
+      p->bump();
       const double down = loss_of();
       p->value[i] = saved;
+      p->bump();
       EXPECT_NEAR(p->grad[i], (up - down) / (2.0 * eps), 1e-5);
     }
   }
