@@ -27,6 +27,7 @@
 #include "common/bench_io.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "common/telemetry.h"
 #include "core/reconciler.h"
 #include "protocol/gateway.h"
 
@@ -77,10 +78,33 @@ GatewayConfig base_config(std::size_t sessions) {
   return cfg;
 }
 
+/// Optional telemetry across the whole suite: every engine run ticks a
+/// shared sampler on a 1 s virtual grid, with virtual time accumulating
+/// across runs (`vbase`) so the JSONL is one monotone timeline. Sampling
+/// restricted to the deterministic families stays byte-identical across
+/// --threads lane counts.
+struct SuiteTelemetry {
+  telemetry::Sampler sampler;
+  double vbase_ms = 0.0;
+};
+
 GatewayReport run_gateway(const GatewayConfig& cfg,
-                          const core::AutoencoderReconciler& reconciler) {
-  GatewayEngine engine(cfg, reconciler, make_material());
-  return engine.run();
+                          const core::AutoencoderReconciler& reconciler,
+                          SuiteTelemetry* telem) {
+  GatewayConfig run_cfg = cfg;
+  if (telem != nullptr) run_cfg.tick_interval_ms = 1000.0;
+  GatewayEngine engine(run_cfg, reconciler, make_material());
+  if (telem != nullptr) {
+    engine.set_tick([telem](double now_ms) {
+      telem->sampler.sample(telem->vbase_ms + now_ms);
+    });
+  }
+  GatewayReport rep = engine.run();
+  if (telem != nullptr) {
+    telem->vbase_ms += rep.makespan_ms;
+    telem->sampler.sample(telem->vbase_ms);  // run-boundary sample
+  }
+  return rep;
 }
 
 }  // namespace
@@ -104,6 +128,20 @@ int main(int argc, char** argv) {
   }
   BenchReport report("gateway", static_cast<int>(args.size()), args.data());
 
+  SuiteTelemetry telemetry_state{
+      telemetry::Sampler([&report] {
+        telemetry::SamplerConfig scfg;
+        if (!report.telemetry_all()) {
+          scfg.include_prefixes = telemetry::deterministic_prefixes();
+        }
+        scfg.source = "bench_gateway";
+        return scfg;
+      }()),
+      0.0};
+  SuiteTelemetry* telem =
+      report.telemetry_path().empty() ? nullptr : &telemetry_state;
+  report.set_telemetry(&telemetry_state.sampler);
+
   std::printf("training the shared reconciler...\n");
   core::ReconcilerConfig rcfg;
   rcfg.key_bits = 64;
@@ -126,7 +164,7 @@ int main(int argc, char** argv) {
             "mean queue wait [virt ms]", "bytes / session", "peak queue"});
   bool all_established = true;
   for (const std::size_t n : scale_points) {
-    const GatewayReport g = run_gateway(base_config(n), reconciler);
+    const GatewayReport g = run_gateway(base_config(n), reconciler, telem);
     all_established = all_established && g.established == g.sessions;
     st.add_row({std::to_string(n),
                 Table::pct(static_cast<double>(g.established) /
@@ -154,7 +192,7 @@ int main(int argc, char** argv) {
   for (const std::size_t inflight : {64u, 256u, 1024u}) {
     GatewayConfig cfg = base_config(contention_sessions);
     cfg.max_inflight = inflight;
-    const GatewayReport g = run_gateway(cfg, reconciler);
+    const GatewayReport g = run_gateway(cfg, reconciler, telem);
     ct.add_row({std::to_string(inflight), Table::fmt(g.keys_per_vsecond, 1),
                 Table::fmt(g.median_time_to_key_ms, 1),
                 Table::fmt(g.p95_time_to_key_ms, 1),
@@ -176,7 +214,7 @@ int main(int argc, char** argv) {
   for (const double drop : {0.0, 0.10, 0.30}) {
     GatewayConfig cfg = base_config(fault_sessions);
     cfg.reliability.fault.drop_prob = drop;
-    const GatewayReport g = run_gateway(cfg, reconciler);
+    const GatewayReport g = run_gateway(cfg, reconciler, telem);
     ft.add_row({Table::pct(drop),
                 Table::pct(static_cast<double>(g.established) /
                            static_cast<double>(g.sessions)),

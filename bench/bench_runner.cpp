@@ -77,6 +77,7 @@ const BenchSpec kBenches[] = {
     {"ablation", true},
     {"robustness", true},
     {"gateway", true},
+    {"soak", true},
     {"tab3_runtime", false},
 };
 

@@ -51,6 +51,14 @@
 //                          flight-recorder events) as Chrome trace-event
 //                          JSON; loadable in chrome://tracing / Perfetto and
 //                          byte-identical across --threads values
+//   --telemetry-out PATH   write delta-encoded telemetry samples as JSONL:
+//                          one baseline sample after the pipeline, one after
+//                          the reliable-link phase, and 1 s virtual-grid
+//                          samples through the gateway run; restricted to
+//                          the lane-invariant metric families, so the file
+//                          is byte-identical across --threads values
+//   --telemetry-all        widen the telemetry filter to every metric family
+//                          (profiling mode; no longer byte-diffable)
 //   --threads N            worker lanes for the parallel pipeline stages
 //                          (N=1 is the bit-exact sequential reference)
 // When the reliable-link phase fails blocks, up to three failed sessions'
@@ -61,12 +69,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/table.h"
+#include "common/telemetry.h"
 #include "common/trace.h"
 #include "core/pipeline.h"
 #include "protocol/gateway.h"
@@ -88,7 +98,8 @@ namespace {
                "[--drop P] [--reorder P] [--dup P] [--corrupt P] "
                "[--link-seed N] [--gateway N] [--max-inflight N] "
                "[--metrics] [--metrics-json PATH] "
-               "[--trace-out PATH] [--threads N]\n",
+               "[--trace-out PATH] [--telemetry-out PATH] [--telemetry-all] "
+               "[--threads N]\n",
                argv0);
   std::exit(2);
 }
@@ -152,6 +163,8 @@ int main(int argc, char** argv) {
   bool dump_metrics = false;
   std::string metrics_json_path;
   std::string trace_out_path;
+  std::string telemetry_out_path;
+  bool telemetry_all = false;
   PipelineConfig cfg;
   cfg.predictor.hidden = 32;
   cfg.predictor_epochs = 40;
@@ -188,6 +201,8 @@ int main(int argc, char** argv) {
     else if (arg == "--metrics") dump_metrics = true;
     else if (arg == "--metrics-json") metrics_json_path = next();
     else if (arg == "--trace-out") { trace_out_path = next(); trace::TraceLog::global().set_enabled(true); }
+    else if (arg == "--telemetry-out") telemetry_out_path = next();
+    else if (arg == "--telemetry-all") telemetry_all = true;
     else if (arg == "--threads") {
       const std::uint64_t n = next_u64();
       if (n == 0) usage(argv[0]);
@@ -208,8 +223,28 @@ int main(int argc, char** argv) {
               : cfg.predictor.quantized ? "on (int8)"
                                         : "on");
 
+  // Optional telemetry: one sampler spans all phases on a single monotone
+  // virtual timeline (each phase's SimClock starts at zero, so their spans
+  // are stacked end to end via `telemetry_vt_ms`). The full gateway-stack
+  // taxonomy is registered up front so every sample sees the same
+  // instrument universe regardless of which faults or rejects fire.
+  std::optional<telemetry::Sampler> telemetry;
+  double telemetry_vt_ms = 0.0;
+  if (!telemetry_out_path.empty()) {
+    telemetry::SamplerConfig scfg;
+    if (!telemetry_all) {
+      scfg.include_prefixes = telemetry::deterministic_prefixes();
+    }
+    scfg.source = "vkey_sim";
+    telemetry.emplace(std::move(scfg));
+    if (metrics::enabled()) protocol::register_gateway_metrics();
+  }
+
   KeyGenPipeline pipeline(cfg);
   const auto m = pipeline.run(train_rounds, test_rounds);
+  // Baseline after the (wall-clock, lane-dependent) pipeline phase: the
+  // virtual phases that follow then delta cleanly against it.
+  if (telemetry) telemetry->sample(telemetry_vt_ms);
 
   Table t({"metric", "value"});
   t.add_row({"key blocks evaluated", std::to_string(m.blocks)});
@@ -314,6 +349,15 @@ int main(int argc, char** argv) {
                   std::to_string(failures[r])});
     }
     lt.print("reliable key agreement over the lossy link");
+
+    if (telemetry) {
+      // Each block ran on its own SimClock; advance the shared timeline by
+      // the summed establishment spans and close the phase with one sample.
+      double span_ms = 0.0;
+      for (const double v : times) span_ms += v;
+      telemetry_vt_ms += span_ms;
+      telemetry->sample(telemetry_vt_ms);
+    }
   }
 
   if (gateway_sessions > 0) {
@@ -335,6 +379,9 @@ int main(int argc, char** argv) {
     gcfg.max_inflight = gateway_inflight;
     gcfg.reliability.fault = fault;
     gcfg.seed = hash_combine64(cfg.trace.seed, fault.seed);
+    // Telemetry rides the engine's lifecycle tick: samples land on a 1 s
+    // virtual grid, offset by the phases already on the shared timeline.
+    if (telemetry) gcfg.tick_interval_ms = 1000.0;
     protocol::GatewayEngine engine(
         gcfg, pipeline.reconciler(),
         [&blocks](std::uint64_t device, std::size_t attempt) {
@@ -375,7 +422,17 @@ int main(int argc, char** argv) {
             return material;
           });
     }
+    if (telemetry) {
+      const double vbase_ms = telemetry_vt_ms;
+      engine.set_tick([&telemetry, vbase_ms](double now_ms) {
+        telemetry->sample(vbase_ms + now_ms);
+      });
+    }
     const auto g = engine.run();
+    if (telemetry) {
+      telemetry_vt_ms += g.makespan_ms;
+      telemetry->sample(telemetry_vt_ms);  // phase-boundary sample
+    }
 
     Table gt({"metric", "value"});
     gt.add_row({"sessions", std::to_string(g.sessions)});
@@ -434,6 +491,10 @@ int main(int argc, char** argv) {
     }
     out << metrics::Registry::global().snapshot().dump(2);
     std::fprintf(stderr, "wrote %s\n", metrics_json_path.c_str());
+  }
+  if (telemetry) {
+    telemetry->write_jsonl(telemetry_out_path);
+    std::fprintf(stderr, "wrote %s\n", telemetry_out_path.c_str());
   }
   if (!trace_out_path.empty()) {
     // Virtual-clock spans only: SimClock time and the canonical

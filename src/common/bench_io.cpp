@@ -14,7 +14,8 @@ namespace vkey {
 namespace {
 
 constexpr const char* kUsage =
-    "[--quick] [--json <path>] [--threads <n>] [--trace-out <path>]";
+    "[--quick] [--json <path>] [--threads <n>] [--trace-out <path>] "
+    "[--telemetry-out <path>] [--telemetry-all]";
 
 // Strict positive-integer parse: the whole token must be digits.
 bool parse_threads(const std::string& s, std::size_t& out) {
@@ -47,6 +48,14 @@ BenchReport::BenchReport(std::string name, int argc, char** argv)
         std::exit(2);
       }
       parallel::set_default_threads(n);
+    } else if (arg == "--telemetry-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --telemetry-out needs a path\n", argv[0]);
+        std::exit(2);
+      }
+      telemetry_path_ = argv[++i];
+    } else if (arg == "--telemetry-all") {
+      telemetry_all_ = true;
     } else if (arg == "--trace-out") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s: --trace-out needs a path\n", argv[0]);
@@ -86,7 +95,15 @@ void BenchReport::add_note(const std::string& key, const std::string& text) {
   notes_.set(key, json::Value(text));
 }
 
+void BenchReport::set_telemetry(const telemetry::Sampler* sampler) {
+  telemetry_ = sampler;
+}
+
 bool BenchReport::write() {
+  if (!telemetry_path_.empty() && telemetry_ != nullptr) {
+    telemetry_->write_jsonl(telemetry_path_);
+    std::fprintf(stderr, "wrote %s\n", telemetry_path_.c_str());
+  }
   if (!trace_path_.empty()) {
     // All domains: bench spans are wall-clock and meant for profiling, not
     // for byte-diffing (that is vkey_sim's virtual-only export).

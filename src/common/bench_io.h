@@ -6,7 +6,9 @@
 // worker lanes for the parallel stages; N=1 is the sequential reference and
 // every N produces bit-identical results, `--trace-out <path>` — enable the
 // span TraceLog for the run and write a Chrome trace-event JSON loadable in
-// chrome://tracing / Perfetto), collects the tables the bench
+// chrome://tracing / Perfetto, `--telemetry-out <path>` — write the bench's
+// telemetry sampler as JSONL, with `--telemetry-all` widening the sample
+// filter beyond the lane-invariant families), collects the tables the bench
 // prints plus any extra scalars/notes, and writes one JSON document per run:
 //
 //   {
@@ -28,6 +30,7 @@
 
 #include "common/json.h"
 #include "common/table.h"
+#include "common/telemetry.h"
 
 namespace vkey {
 
@@ -53,18 +56,33 @@ class BenchReport {
   void add_scalar(const std::string& key, double value);
   void add_note(const std::string& key, const std::string& text);
 
+  /// Attach the telemetry sampler whose JSONL write() should stream to the
+  /// --telemetry-out path. The bench owns the sampler (it decides the clock
+  /// and the sampling instants); the report only persists it. The pointer
+  /// must stay valid until write().
+  void set_telemetry(const telemetry::Sampler* sampler);
+
   /// Write the snapshot if --json was given (appends the current metrics
-  /// registry) and the Chrome trace if --trace-out was given. Returns true
-  /// when a snapshot file was written.
+  /// registry), the Chrome trace if --trace-out was given, and the telemetry
+  /// JSONL if --telemetry-out was given and a sampler is attached. Returns
+  /// true when a snapshot file was written.
   bool write();
 
   const std::string& json_path() const { return path_; }
   const std::string& trace_path() const { return trace_path_; }
+  const std::string& telemetry_path() const { return telemetry_path_; }
+  /// --telemetry-all: sample every metric family, not just the
+  /// lane-invariant telemetry::deterministic_prefixes() set (profiling
+  /// mode; the output is no longer byte-diffable across --threads).
+  bool telemetry_all() const { return telemetry_all_; }
 
  private:
   std::string name_;
   std::string path_;
   std::string trace_path_;
+  std::string telemetry_path_;
+  const telemetry::Sampler* telemetry_ = nullptr;
+  bool telemetry_all_ = false;
   bool quick_ = false;
   json::Value tables_ = json::Value::array();
   json::Value scalars_ = json::Value::object();

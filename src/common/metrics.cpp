@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 #include "common/error.h"
 
@@ -32,12 +33,72 @@ void set_enabled(bool on) noexcept {
   enabled_flag().store(on, std::memory_order_relaxed);
 }
 
+namespace {
+
+// Lock-free monotone update: raise (or lower) `slot` to `v` if `v` is more
+// extreme. Relaxed ordering suffices — watermarks are diagnostics read after
+// the writers quiesce.
+void raise_to(std::atomic<double>& slot, double v) noexcept {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void lower_to(std::atomic<double>& slot, double v) noexcept {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
 void Gauge::add(double delta) noexcept {
   if (!enabled()) return;
   double cur = v_.load(std::memory_order_relaxed);
   while (!v_.compare_exchange_weak(cur, cur + delta,
                                    std::memory_order_relaxed)) {
   }
+  update_watermarks(cur + delta);
+}
+
+void Gauge::update_watermarks(double v) noexcept {
+  // hi_/lo_ rest at ∓inf sentinels (construction, reset) so the monotone
+  // CAS updates need no seeding step — a seeded first write would race and
+  // could permanently drop a concurrent writer's extreme. The sentinels
+  // never escape: accessors return 0.0 until written_ flips.
+  raise_to(hi_, v);
+  lower_to(lo_, v);
+  written_.store(true, std::memory_order_relaxed);
+}
+
+double Gauge::high_watermark() const noexcept {
+  return written_.load(std::memory_order_relaxed)
+             ? hi_.load(std::memory_order_relaxed)
+             : 0.0;
+}
+
+double Gauge::low_watermark() const noexcept {
+  return written_.load(std::memory_order_relaxed)
+             ? lo_.load(std::memory_order_relaxed)
+             : 0.0;
+}
+
+void Gauge::reset_watermarks() noexcept {
+  if (!written_.load(std::memory_order_relaxed)) return;
+  const double cur = v_.load(std::memory_order_relaxed);
+  hi_.store(cur, std::memory_order_relaxed);
+  lo_.store(cur, std::memory_order_relaxed);
+}
+
+void Gauge::reset() noexcept {
+  v_.store(0.0, std::memory_order_relaxed);
+  hi_.store(-std::numeric_limits<double>::infinity(),
+            std::memory_order_relaxed);
+  lo_.store(std::numeric_limits<double>::infinity(),
+            std::memory_order_relaxed);
+  written_.store(false, std::memory_order_relaxed);
 }
 
 Histogram::Histogram(std::vector<double> bounds)
@@ -59,6 +120,14 @@ void Histogram::observe(double v) {
   while (!sum_.compare_exchange_weak(cur, cur + v,
                                      std::memory_order_relaxed)) {
   }
+  raise_to(max_, v);
+  max_written_.store(true, std::memory_order_relaxed);
+}
+
+double Histogram::max() const noexcept {
+  return max_written_.load(std::memory_order_relaxed)
+             ? max_.load(std::memory_order_relaxed)
+             : 0.0;
 }
 
 double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -89,11 +158,14 @@ double Histogram::quantile(double q) const {
       cum += counts[i];
       continue;
     }
-    // Interpolate within bucket i. The overflow bucket has no upper bound;
-    // report its lower bound.
-    if (i == bounds_.size()) return bounds_.back();
+    // Interpolate within bucket i. The overflow bucket has no finite upper
+    // bound; use the largest observed value as its upper edge so saturated
+    // distributions report real tail quantiles instead of clamping at
+    // bounds().back() (which silently folded overflow into the top finite
+    // bucket).
     const double lo = i == 0 ? 0.0 : bounds_[i - 1];
-    const double hi = bounds_[i];
+    const double hi =
+        i == bounds_.size() ? std::max(max(), bounds_.back()) : bounds_[i];
     if (counts[i] == 0) return hi;
     const double frac =
         (target - static_cast<double>(cum)) / static_cast<double>(counts[i]);
@@ -106,6 +178,9 @@ void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_written_.store(false, std::memory_order_relaxed);
 }
 
 const std::vector<double>& default_time_buckets_ms() {
@@ -187,7 +262,12 @@ json::Value Registry::snapshot() const {
 
   json::Value gauges = json::Value::object();
   for (const auto& [name, p] : sorted(gauges_)) {
-    gauges.set(name, json::Value(static_cast<const Gauge*>(p)->value()));
+    const auto* g = static_cast<const Gauge*>(p);
+    json::Value e = json::Value::object();
+    e.set("value", json::Value(g->value()));
+    e.set("high", json::Value(g->high_watermark()));
+    e.set("low", json::Value(g->low_watermark()));
+    gauges.set(name, std::move(e));
   }
   root.set("gauges", std::move(gauges));
 
@@ -199,7 +279,10 @@ json::Value Registry::snapshot() const {
     e.set("sum", json::Value(h->sum()));
     e.set("mean", json::Value(h->mean()));
     e.set("p50", json::Value(h->quantile(0.5)));
+    e.set("p90", json::Value(h->quantile(0.90)));
     e.set("p99", json::Value(h->quantile(0.99)));
+    e.set("overflow", json::Value(h->overflow_count()));
+    e.set("max", json::Value(h->max()));
     json::Value bounds = json::Value::array();
     for (const double b : h->bounds()) bounds.push_back(json::Value(b));
     e.set("bounds", std::move(bounds));
@@ -242,13 +325,20 @@ std::string Registry::to_csv() const {
     out += "counter," + csv_escape(name) + ",value," +
            json::format_number(v.as_number()) + "\n";
   }
-  for (const auto& [name, v] : snap.at("gauges").as_object()) {
-    out += "gauge," + csv_escape(name) + ",value," +
-           json::format_number(v.as_number()) + "\n";
+  for (const auto& [name, g] : snap.at("gauges").as_object()) {
+    const std::string escaped = csv_escape(name);
+    for (const char* field : {"value", "high", "low"}) {
+      out += "gauge," + escaped + "," + field + "," +
+             json::format_number(g.at(field).as_number()) + "\n";
+    }
   }
+  // The quantile fields below come straight from snapshot(), which is the
+  // single Histogram::quantile() implementation — CSV does no quantile math
+  // of its own.
   for (const auto& [name, h] : snap.at("histograms").as_object()) {
     const std::string escaped = csv_escape(name);
-    for (const char* field : {"count", "sum", "mean", "p50", "p99"}) {
+    for (const char* field :
+         {"count", "sum", "mean", "p50", "p90", "p99", "overflow", "max"}) {
       out += "histogram," + escaped + "," + field + "," +
              json::format_number(h.at(field).as_number()) + "\n";
     }

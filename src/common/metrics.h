@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -55,17 +56,40 @@ class Counter {
 class Gauge {
  public:
   void set(double v) noexcept {
-    if (enabled()) v_.store(v, std::memory_order_relaxed);
+    if (!enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+    update_watermarks(v);
   }
   /// Lock-free accumulate (compare-exchange loop).
   void add(double delta) noexcept;
   double value() const noexcept {
     return v_.load(std::memory_order_relaxed);
   }
-  void reset() noexcept { v_.store(0.0, std::memory_order_relaxed); }
+  /// Highest / lowest value written since construction, reset() or
+  /// reset_watermarks(). 0.0 before the first write (the watermarks of a
+  /// never-written gauge carry no information; exporters must not invent
+  /// ±inf). Watermark maintenance is relaxed-atomic: concurrent writers
+  /// never lose the extreme of the values they actually stored, but a
+  /// reader racing a writer may briefly see value() ahead of the
+  /// watermarks.
+  double high_watermark() const noexcept;
+  double low_watermark() const noexcept;
+  /// Re-arm both watermarks to the current value (a measurement window
+  /// boundary: a persistent level like `gateway.inflight` starts the next
+  /// window from its live level, not from zero). A never-written gauge
+  /// stays unwatermarked.
+  void reset_watermarks() noexcept;
+  void reset() noexcept;
 
  private:
+  void update_watermarks(double v) noexcept;
+
   std::atomic<double> v_{0.0};
+  // ∓inf sentinels let the watermark updates be single monotone CAS loops
+  // with no racy first-write seeding; accessors hide them behind written_.
+  std::atomic<double> hi_{-std::numeric_limits<double>::infinity()};
+  std::atomic<double> lo_{std::numeric_limits<double>::infinity()};
+  std::atomic<bool> written_{false};
 };
 
 class Histogram {
@@ -85,7 +109,23 @@ class Histogram {
   /// Cumulative-free per-bucket counts, bounds().size() + 1 entries (the
   /// last is the overflow bucket).
   std::vector<std::uint64_t> bucket_counts() const;
-  /// Linear-interpolated quantile estimate from the buckets, q in [0, 1].
+  /// Observations beyond the last finite bound (the +inf bucket). Reported
+  /// explicitly in snapshots/CSV so saturated distributions are visible
+  /// instead of silently folding into the top finite bucket.
+  std::uint64_t overflow_count() const noexcept {
+    return buckets_.back().load(std::memory_order_relaxed);
+  }
+  /// Largest value observed (0.0 while empty). Tracked so the overflow
+  /// bucket has a real upper edge for quantile interpolation.
+  double max() const noexcept;
+  /// Quantile estimate from the buckets, q in [0, 1], by linear
+  /// interpolation: the bucket containing rank q*count is located in the
+  /// cumulative counts and the result is interpolated between its lower and
+  /// upper bound proportionally to the rank's position inside the bucket.
+  /// For the overflow bucket the upper edge is max() (the largest value
+  /// actually seen), so values beyond the last finite bound still move the
+  /// high quantiles instead of clamping at bounds().back(). q=1 therefore
+  /// returns max() whenever the overflow bucket is populated.
   double quantile(double q) const;
   void reset();
 
@@ -94,6 +134,9 @@ class Histogram {
   std::vector<std::atomic<std::uint64_t>> buckets_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  // -inf sentinel, same monotone-CAS scheme as the Gauge watermarks.
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::atomic<bool> max_written_{false};
 };
 
 /// Default latency buckets for millisecond-scale timers: 1 µs .. 100 s in
@@ -118,7 +161,8 @@ class Registry {
   void reset();
 
   /// Snapshot as {"counters": {...}, "gauges": {...}, "histograms": {...}},
-  /// keys sorted, histograms carrying count/sum/mean/p50/p99 and the raw
+  /// keys sorted. Gauges are {"value", "high", "low"} objects (watermarks);
+  /// histograms carry count/sum/mean/p50/p90/p99/overflow/max and the raw
   /// buckets. Instruments with zero events are included (their registration
   /// is information too).
   json::Value snapshot() const;

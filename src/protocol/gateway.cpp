@@ -51,6 +51,22 @@ void GatewayEngine::set_batch_material(BatchMaterialFn prefetch) {
   batch_material_ = std::move(prefetch);
 }
 
+void GatewayEngine::set_tick(std::function<void(double)> tick) {
+  VKEY_REQUIRE(!ran_, "tick observer must be installed before run()");
+  tick_ = std::move(tick);
+}
+
+void GatewayEngine::on_tick() {
+  tick_(clock_.now_ms());
+  // Keep ticking only while other events remain: once the tick is the sole
+  // event left, the timeline has quiesced and rescheduling would keep the
+  // run alive forever. The executing tick is already off the queue, so
+  // pending() counts everything else.
+  if (clock_.pending() > 0) {
+    clock_.schedule(cfg_.tick_interval_ms, [this] { on_tick(); });
+  }
+}
+
 SessionOutcome GatewayEngine::simulate(
     std::uint64_t device, std::size_t flight_capacity, std::string* dump,
     const std::pair<BitVec, BitVec>* attempt0) const {
@@ -200,9 +216,24 @@ GatewayReport GatewayEngine::run() {
   VKEY_REQUIRE(!ran_, "GatewayEngine::run() is one-shot");
   ran_ = true;
   clock_.schedule_at(0.0, [this] { on_arrival(0); });
+  if (tick_ && cfg_.tick_interval_ms > 0.0) {
+    clock_.schedule(cfg_.tick_interval_ms, [this] { on_tick(); });
+  }
   // Runaway guard far above need: every session costs O(1) lifecycle events
   // (arrival, admission, completion, <= max_rekeys rekeys, idle checks).
-  const std::size_t cap = cfg_.sessions * (cfg_.max_rekeys + 8) + 1024;
+  std::size_t cap = cfg_.sessions * (cfg_.max_rekeys + 8) + 1024;
+  if (tick_ && cfg_.tick_interval_ms > 0.0) {
+    // Observer ticks add makespan / interval events; bound the makespan by
+    // the arrival span plus a generous per-session tail (establishments,
+    // rekeys, the idle timeout). A too-low guess still fails loudly via the
+    // quiesce check below, never silently.
+    const double span_bound =
+        cfg_.arrival_interval_ms * static_cast<double>(cfg_.sessions) +
+        cfg_.idle_timeout_ms * 4.0 +
+        cfg_.rekey_interval_ms * static_cast<double>(cfg_.max_rekeys) +
+        60'000.0;
+    cap += static_cast<std::size_t>(span_bound / cfg_.tick_interval_ms) + 64;
+  }
   clock_.run_until_idle(cap);
   VKEY_REQUIRE(registry_.queued() == 0 && registry_.establishing() == 0 &&
                    registry_.confirmed_active() == 0,
@@ -245,6 +276,7 @@ GatewayReport GatewayEngine::finalize() {
   std::sort(ttk.begin(), ttk.end());
   rep.median_time_to_key_ms = percentile(ttk, 0.5);
   rep.p95_time_to_key_ms = percentile(ttk, 0.95);
+  rep.p99_time_to_key_ms = percentile(ttk, 0.99);
   rep.mean_queue_wait_ms = wait_sum / static_cast<double>(cfg_.sessions);
   rep.mean_attempts =
       static_cast<double>(attempts) / static_cast<double>(cfg_.sessions);
@@ -270,6 +302,21 @@ GatewayReport GatewayEngine::finalize() {
   }
   rep.failures_suppressed = failed_seen - rep.failure_dumps.size();
   return rep;
+}
+
+void register_gateway_metrics() {
+  auto& reg = metrics::Registry::global();
+  for (const char* n :
+       {"arrivals", "admissions", "keys_established", "establish_failures",
+        "rekeys", "evictions.idle", "evictions.failed"}) {
+    reg.counter(std::string("gateway.") + n);
+  }
+  reg.gauge("gateway.inflight_sessions");
+  reg.gauge("gateway.queued_sessions");
+  reg.gauge("gateway.active_sessions");
+  gw_histogram("time_to_key_ms");
+  gw_histogram("queue_wait_ms");
+  register_protocol_metrics();
 }
 
 }  // namespace vkey::protocol

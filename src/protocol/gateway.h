@@ -73,6 +73,15 @@ struct GatewayConfig {
   /// Post-run flight-recorder timelines regenerated for at most this many
   /// failed sessions (deterministic re-simulation with recording enabled).
   std::size_t failure_dump_limit = 3;
+  /// Period of the observer tick on the shared timeline (0 disables). Each
+  /// tick invokes the set_tick() callback at a virtual-time grid point —
+  /// the hook the telemetry sampler uses to take lane-invariant samples
+  /// mid-run. Ticks are ordinary lifecycle events: RF sub-simulation
+  /// batches join before any timeline event runs, so the metric totals a
+  /// tick observes do not depend on the pool lane count. The final tick
+  /// lands on the first grid point at or after the last lifecycle event
+  /// (an instrumented run's makespan rounds up to the tick grid).
+  double tick_interval_ms = 0.0;
 };
 
 /// Scalar outcome of one device's RF exchange (the pure, per-index result
@@ -102,6 +111,7 @@ struct GatewayReport {
   double keys_per_vsecond = 0.0;   ///< established / establish_span
   double median_time_to_key_ms = 0.0;  ///< arrival -> key, queueing included
   double p95_time_to_key_ms = 0.0;
+  double p99_time_to_key_ms = 0.0;
   double mean_queue_wait_ms = 0.0;
   double mean_attempts = 0.0;
   double bytes_per_session = 0.0;  ///< wire bytes per *established* session
@@ -140,6 +150,12 @@ class GatewayEngine {
   /// called before run(); pass nullptr to clear.
   void set_batch_material(BatchMaterialFn prefetch);
 
+  /// Install the observer-tick callback (see GatewayConfig::tick_interval_ms).
+  /// Runs on the lifecycle thread at each tick's virtual time; it may read
+  /// metrics and sample telemetry but must not mutate engine state. Must be
+  /// called before run(); pass nullptr to clear.
+  void set_tick(std::function<void(double now_ms)> tick);
+
   /// Drive the full lifecycle of every session to eviction and fold the
   /// report. One-shot: a second call aborts.
   GatewayReport run();
@@ -155,6 +171,7 @@ class GatewayEngine {
 
  private:
   void on_arrival(std::uint64_t device);
+  void on_tick();
   void try_admit();
   void on_establishment_done(std::uint64_t device);
   void on_rekey(std::uint64_t device, std::size_t ordinal);
@@ -173,6 +190,7 @@ class GatewayEngine {
   const core::AutoencoderReconciler& reconciler_;
   MaterialFn material_;
   BatchMaterialFn batch_material_;  ///< optional attempt-0 prefetch
+  std::function<void(double)> tick_;  ///< optional observer tick
   SimClock clock_;  ///< THE shared gateway timeline
   SessionRegistry registry_;
   std::vector<SessionOutcome> outcomes_;
@@ -184,5 +202,11 @@ class GatewayEngine {
   double last_establish_ms_ = 0.0;
   bool ran_ = false;
 };
+
+/// Eagerly register the gateway.* counters, gauges and histograms, then the
+/// whole stack beneath them (register_protocol_metrics). Long-horizon
+/// harnesses call this before arming allocation gates so that no instrument
+/// is first registered — and heap-counted — mid-measurement.
+void register_gateway_metrics();
 
 }  // namespace vkey::protocol

@@ -4,6 +4,7 @@
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/trace.h"
+#include "protocol/wire.h"
 
 namespace vkey::protocol {
 
@@ -283,6 +284,36 @@ AgreementReport run_reliable_key_agreement_on(
   }
   if (!report.established) rel_counter("exhausted").add(1);
   return report;
+}
+
+void register_protocol_metrics() {
+  auto& reg = metrics::Registry::global();
+  reg.counter("session.runs");
+  reg.counter("session.frames_delivered");
+  reg.counter("session.established");
+  for (const char* n : {"data_sent", "retransmissions", "timeouts", "gave_up",
+                        "acks_received", "acks_sent"}) {
+    reg.counter(std::string("arq.") + n);
+  }
+  reg.histogram("arq.backoff_ms");
+  for (const char* n :
+       {"sent", "dropped", "corrupted", "crc_lost", "reordered",
+        "duplicated"}) {
+    reg.counter(std::string("link.") + n);
+  }
+  rel_counter("attempts");
+  rel_counter("established");
+  rel_counter("exhausted");
+  reg.histogram("reliability.attempt_ms");
+  for (const FailureReason r :
+       {FailureReason::kRetryExhausted, FailureReason::kMacMismatch,
+        FailureReason::kConfirmMismatch, FailureReason::kTimeout,
+        FailureReason::kProtocolError}) {
+    rel_counter(("failure." + to_string(r)).c_str());
+  }
+  reg.counter("phy.packets");
+  reg.gauge("phy.airtime_ms");
+  wire::register_wire_metrics();
 }
 
 }  // namespace vkey::protocol

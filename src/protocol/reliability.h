@@ -127,4 +127,13 @@ AgreementReport run_reliable_key_agreement_on(
     const core::AutoencoderReconciler& reconciler,
     const ReliabilityConfig& config, const ProbeMaterialFn& material);
 
+/// Eagerly register every instrument the session/ARQ/link/reliability stack
+/// creates lazily — including the rare-path taxonomy (the per-kind
+/// `reliability.failure.*` counters, `arq.gave_up`, the fault-dependent link
+/// counters) whose first registration may otherwise land hours into a run.
+/// Snapshot structure and steady-state heap accounting must not depend on
+/// which faults happened to fire. Delegates to wire::register_wire_metrics()
+/// for the frame-reject taxonomy.
+void register_protocol_metrics();
+
 }  // namespace vkey::protocol

@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/alloc_stats.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 
@@ -287,6 +288,44 @@ TEST(DefaultClock, ToggleWhileTimersRunIsRaceFreeAndNeverMixesTimeBases) {
 
   EXPECT_EQ(h.count(),
             static_cast<std::uint64_t>(kThreads) * (kTimers / kThreads));
+}
+
+TEST(ConcurrencyStress, AllocStatsCountsAreExactAcrossThreads) {
+  // This binary does not link vkey_alloc_hooks, so the counters move only
+  // through the direct reporting API — which makes the expected totals
+  // exact, while TSan watches the relaxed atomics and the thread-local
+  // pause flag for races.
+  constexpr int kThreads = 8;
+  constexpr int kEventsPerThread = 20'000;
+  const alloc_stats::PhaseScope phase;
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kEventsPerThread; ++i) {
+        alloc_stats::on_alloc(16);
+        if (i % 4 == 0) {
+          // A paused stretch on this thread must hide exactly its own
+          // events and nobody else's.
+          alloc_stats::PauseScope pause;
+          alloc_stats::on_alloc(1 << 20);
+          alloc_stats::on_free();
+        }
+        alloc_stats::on_free();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const alloc_stats::Totals d = phase.delta();
+  const auto expected =
+      static_cast<std::uint64_t>(kThreads) * kEventsPerThread;
+  EXPECT_EQ(d.allocations, expected);
+  EXPECT_EQ(d.frees, expected);
+  EXPECT_EQ(d.bytes, expected * 16);
+  EXPECT_EQ(phase.live_delta(), 0);
+  EXPECT_FALSE(alloc_stats::paused());
 }
 
 }  // namespace

@@ -95,6 +95,86 @@ TEST(Histogram, QuantileInterpolatesWithinBuckets) {
   EXPECT_LE(p75, 30.0);
 }
 
+TEST(Histogram, TracksMaxAndOverflowCount) {
+  Histogram h({1.0, 10.0});
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);  // empty: neutral, not -inf
+  h.observe(0.5);
+  h.observe(250.0);  // beyond the last bound
+  h.observe(90.0);   // also overflow
+  EXPECT_EQ(h.overflow_count(), 2u);
+  EXPECT_DOUBLE_EQ(h.max(), 250.0);
+  h.reset();
+  EXPECT_EQ(h.overflow_count(), 0u);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+// Regression: values beyond the last finite bound used to be silently
+// folded into the top bucket's bound — a distribution sitting entirely in
+// the overflow bucket reported p99 == bounds.back() no matter how far out
+// the tail actually was.
+TEST(Histogram, OverflowBucketQuantilesUseTheObservedMax) {
+  Histogram h({1.0, 10.0});
+  for (int i = 0; i < 100; ++i) h.observe(1000.0);
+  // All mass is in the overflow bucket [10, max]; quantiles must move past
+  // the last finite bound instead of clamping to it.
+  EXPECT_GT(h.quantile(0.99), 10.0);
+  EXPECT_LE(h.quantile(0.99), 1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);  // p100 is the observed max
+
+  // Mixed case: half in-range, half overflow — the median stays finite
+  // while the tail quantile reaches into [10, max].
+  Histogram m({1.0, 10.0});
+  for (int i = 0; i < 50; ++i) m.observe(5.0);
+  for (int i = 0; i < 50; ++i) m.observe(500.0);
+  EXPECT_LE(m.quantile(0.5), 10.0);
+  EXPECT_GT(m.quantile(0.99), 10.0);
+  EXPECT_EQ(m.overflow_count(), 50u);
+}
+
+TEST(Gauge, TracksHighAndLowWatermarks) {
+  Gauge g;
+  // Unwritten gauges report neutral watermarks, not ±inf sentinels.
+  EXPECT_DOUBLE_EQ(g.high_watermark(), 0.0);
+  EXPECT_DOUBLE_EQ(g.low_watermark(), 0.0);
+  g.set(5.0);
+  g.set(-3.0);
+  g.set(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  EXPECT_DOUBLE_EQ(g.high_watermark(), 5.0);
+  EXPECT_DOUBLE_EQ(g.low_watermark(), -3.0);
+  g.add(10.0);  // accumulate path must maintain watermarks too
+  EXPECT_DOUBLE_EQ(g.high_watermark(), 12.0);
+  // Window boundary: watermarks re-arm to the live value, not to zero.
+  g.reset_watermarks();
+  EXPECT_DOUBLE_EQ(g.high_watermark(), 12.0);
+  EXPECT_DOUBLE_EQ(g.low_watermark(), 12.0);
+  g.set(1.0);
+  EXPECT_DOUBLE_EQ(g.low_watermark(), 1.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.high_watermark(), 0.0);
+  EXPECT_DOUBLE_EQ(g.low_watermark(), 0.0);
+}
+
+TEST(Gauge, WatermarksUnderConcurrentWritesKeepTheExtremes) {
+  Gauge g;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&g, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        g.set(static_cast<double>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  // The global extremes were each written by exactly one thread; the
+  // monotone CAS must not lose them regardless of interleaving.
+  EXPECT_DOUBLE_EQ(g.high_watermark(),
+                   static_cast<double>(kThreads * kPerThread - 1));
+  EXPECT_DOUBLE_EQ(g.low_watermark(), 0.0);
+}
+
 TEST(Histogram, RejectsEmptyOrUnsortedBounds) {
   EXPECT_THROW(Histogram({}), vkey::Error);
   EXPECT_THROW(Histogram({2.0, 1.0}), vkey::Error);
@@ -138,14 +218,23 @@ TEST(Registry, SnapshotIsSortedAndCompleteAndCsvMatches) {
   ASSERT_EQ(counters.size(), 2u);
   EXPECT_EQ(counters[0].first, "a.first");  // sorted by name
   EXPECT_EQ(counters[1].first, "z.last");
-  EXPECT_DOUBLE_EQ(snap.at("gauges").at("mid.gauge").as_number(), 3.5);
+  const auto& g = snap.at("gauges").at("mid.gauge");
+  EXPECT_DOUBLE_EQ(g.at("value").as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(g.at("high").as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(g.at("low").as_number(), 3.5);
   const auto& h = snap.at("histograms").at("lat.ms");
   EXPECT_DOUBLE_EQ(h.at("count").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(h.at("overflow").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(h.at("max").as_number(), 0.2);
 
   const std::string csv = reg.to_csv();
   EXPECT_NE(csv.find("counter,a.first,value,2"), std::string::npos);
   EXPECT_NE(csv.find("gauge,mid.gauge,value,3.5"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,mid.gauge,high,3.5"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,mid.gauge,low,3.5"), std::string::npos);
   EXPECT_NE(csv.find("histogram,lat.ms,count,1"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,lat.ms,overflow,0"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,lat.ms,max,0.2"), std::string::npos);
 }
 
 TEST(Registry, CsvCarriesQuantileRowsPerHistogram) {
@@ -155,6 +244,7 @@ TEST(Registry, CsvCarriesQuantileRowsPerHistogram) {
   for (int i = 0; i < 50; ++i) h.observe(25.0);
   const std::string csv = reg.to_csv();
   EXPECT_NE(csv.find("histogram,stage.ms,p50,"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,stage.ms,p90,"), std::string::npos);
   EXPECT_NE(csv.find("histogram,stage.ms,p99,"), std::string::npos);
   // The row values must be the histogram's own interpolated quantiles.
   EXPECT_NE(csv.find("histogram,stage.ms,p50," +

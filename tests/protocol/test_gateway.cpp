@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/error.h"
 #include "common/rng.h"
 #include "core/reconciler.h"
 #include "protocol/gateway.h"
@@ -403,6 +404,51 @@ TEST_F(GatewayTest, InterleavedSessionsOnSharedClockSuppressDuplicates) {
                 p1.alice.duplicates_suppressed() +
                 p1.bob.duplicates_suppressed(),
             0u);
+}
+
+TEST_F(GatewayTest, LifecycleTicksLandOnTheGridAndCoverTheWholeRun) {
+  GatewayConfig cfg = small_config(30, 8);
+  cfg.tick_interval_ms = 1000.0;
+  GatewayEngine engine(cfg, *reconciler_, material());
+  std::vector<double> ticks;
+  engine.set_tick([&ticks](double now_ms) { ticks.push_back(now_ms); });
+  const GatewayReport rep = engine.run();
+
+  // Ticks are lifecycle events on the shared clock: one per interval,
+  // strictly on the 1 s grid, starting at the first interval.
+  ASSERT_FALSE(ticks.empty());
+  for (std::size_t i = 0; i < ticks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ticks[i], 1000.0 * static_cast<double>(i + 1));
+  }
+  // The chain stops only at quiescence, so the final tick is the last event
+  // and the makespan rounds up to the grid.
+  EXPECT_DOUBLE_EQ(rep.makespan_ms, ticks.back());
+  EXPECT_EQ(rep.established, 30u);
+
+  // Observers are a pre-run decision.
+  EXPECT_THROW(engine.set_tick([](double) {}), vkey::Error);
+
+  // The same run without ticks produces identical session outcomes; only
+  // the makespan differs, by less than one tick interval of grid rounding.
+  GatewayEngine plain(small_config(30, 8), *reconciler_, material());
+  const GatewayReport prep = plain.run();
+  EXPECT_EQ(prep.established, rep.established);
+  EXPECT_EQ(prep.rekeys, rep.rekeys);
+  EXPECT_DOUBLE_EQ(prep.median_time_to_key_ms, rep.median_time_to_key_ms);
+  EXPECT_DOUBLE_EQ(prep.p99_time_to_key_ms, rep.p99_time_to_key_ms);
+  EXPECT_LE(prep.makespan_ms, rep.makespan_ms);
+  EXPECT_LE(rep.makespan_ms - prep.makespan_ms, cfg.tick_interval_ms);
+}
+
+TEST_F(GatewayTest, TickObserverIsInertWithoutAnInterval) {
+  // tick_interval_ms stays at its 0.0 default: the observer must never fire
+  // and the run must behave exactly like an unobserved one.
+  GatewayEngine engine(small_config(10, 4), *reconciler_, material());
+  std::size_t fired = 0;
+  engine.set_tick([&fired](double) { ++fired; });
+  const GatewayReport rep = engine.run();
+  EXPECT_EQ(fired, 0u);
+  EXPECT_EQ(rep.established, 10u);
 }
 
 }  // namespace

@@ -37,6 +37,7 @@ sinks (rule ids)
     secret-to-trace             ScopedTimer::attr, TraceLog::instant/record
     secret-to-flight-recorder   FlightRecorder::record
     secret-to-metrics           Histogram::observe / Gauge::set
+    secret-to-telemetry         telemetry Sampler::annotate header side-channel
     secret-to-json              to_json(), json::Value construction, dump()
     secret-to-snapshot          bench_io:: writers
     secret-to-stream            cout/cerr/clog, printf family, std::format
@@ -83,6 +84,7 @@ RULES = {
     "secret-to-flight-recorder": "key material flows into a flight-recorder "
                                  "event",
     "secret-to-metrics": "key material flows into a metrics instrument",
+    "secret-to-telemetry": "key material flows into a telemetry annotation",
     "secret-to-json": "key material flows into a JSON value / dump",
     "secret-to-snapshot": "key material flows into a bench-io artifact",
     "secret-to-stream": "key material flows into a stream/printf/format call",
@@ -137,6 +139,11 @@ SINKS = [
      "failure; record outcomes, never key bytes"),
     ("secret-to-metrics", re.compile(r"\.\s*observe\s*\("),
      "metrics snapshots are serialized to JSON"),
+    # Before the json/hex rules: `annotate("k", to_hex(x))` should name the
+    # telemetry sink, not the encoding it rode in on.
+    ("secret-to-telemetry", re.compile(r"(?:\.|->)\s*annotate\s*\("),
+     "telemetry annotations land in the JSONL header line; annotate run "
+     "parameters (seed, lanes, interval), never key bytes"),
     ("secret-to-json", re.compile(r"\bto_json\s*\(|json\s*::\s*Value\s*[({]|"
                                   r"\.\s*dump\s*\("),
      "JSON values end up in snapshots and logs"),
@@ -164,6 +171,7 @@ CHAR_LIT = re.compile(r"'(?:[^'\\\n]|\\.)*'")
 # Words that appear in sink expressions themselves and must not count as
 # tainted identifiers (sink names, std plumbing, common locals).
 NEUTRAL = {
+    "annotate",
     "attr", "instant", "record", "observe", "dump", "to_json", "to_hex",
     "put_bytes", "std", "cout", "cerr", "clog", "printf", "fprintf",
     "snprintf", "sprintf", "format", "json", "Value", "bench_io",
